@@ -1,0 +1,85 @@
+//! Clustering benchmarks: the incremental refinement (used hundreds of
+//! times per campaign and tens of thousands of times by the Figure 8
+//! schedulers) and the naive split it replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use trackdown_bgp::{Catchments, LinkId};
+use trackdown_core::Clustering;
+use trackdown_topology::AsIndex;
+
+fn synthetic_catchments(n: usize, links: u8, configs: usize, seed: u64) -> Vec<Catchments> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..configs)
+        .map(|_| {
+            let mut c = Catchments::unassigned(n);
+            for i in 0..n {
+                c.set(AsIndex(i as u32), Some(LinkId(rng.random_range(0..links))));
+            }
+            c
+        })
+        .collect()
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    for n in [500usize, 2000, 8000] {
+        let cats = synthetic_catchments(n, 7, 16, 3);
+        let sources: Vec<AsIndex> = (0..n as u32).map(AsIndex).collect();
+        group.bench_with_input(
+            BenchmarkId::new("refine_16_configs", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut clustering = Clustering::single(sources.clone());
+                    for cat in &cats {
+                        clustering.refine(black_box(cat));
+                    }
+                    black_box(clustering.num_clusters())
+                })
+            },
+        );
+    }
+    // Fast path vs the paper's literal split loop (small n: the naive
+    // version is quadratic).
+    let n = 200;
+    let cats = synthetic_catchments(n, 4, 4, 9);
+    let sources: Vec<AsIndex> = (0..n as u32).map(AsIndex).collect();
+    group.bench_function("refine_vs_naive/fast", |b| {
+        b.iter(|| {
+            let mut clustering = Clustering::single(sources.clone());
+            for cat in &cats {
+                clustering.refine(cat);
+            }
+            black_box(clustering.num_clusters())
+        })
+    });
+    group.bench_function("refine_vs_naive/naive", |b| {
+        b.iter(|| {
+            let mut clustering = Clustering::single(sources.clone());
+            for cat in &cats {
+                clustering.split_by_naive(cat);
+            }
+            black_box(clustering.num_clusters())
+        })
+    });
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let n = 2000;
+    let cats = synthetic_catchments(n, 7, 32, 5);
+    let sources: Vec<AsIndex> = (0..n as u32).map(AsIndex).collect();
+    let mut clustering = Clustering::single(sources);
+    for cat in &cats {
+        clustering.refine(cat);
+    }
+    c.bench_function("cluster_ccdf_2000as", |b| {
+        b.iter(|| black_box(clustering.size_ccdf()))
+    });
+}
+
+criterion_group!(benches, bench_refine, bench_stats);
+criterion_main!(benches);

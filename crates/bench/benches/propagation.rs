@@ -1,0 +1,77 @@
+//! BGP propagation-engine benchmarks: the inner loop every experiment
+//! pays for once per announcement configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trackdown_bgp::{BgpEngine, EngineConfig, LinkAnnouncement, LinkId, OriginAs};
+use trackdown_topology::gen::{generate, TopologyConfig};
+use trackdown_topology::Asn;
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+    for (label, cfg, pops) in [
+        ("small-120as", TopologyConfig::small(1), 4usize),
+        ("medium-600as", TopologyConfig::medium(1), 5),
+        (
+            "full-2000as",
+            TopologyConfig {
+                seed: 1,
+                ..TopologyConfig::default()
+            },
+            7,
+        ),
+    ] {
+        let world = generate(&cfg);
+        let origin = OriginAs::peering_style(&world, pops);
+        let engine = BgpEngine::new(&world.topology, &EngineConfig::default());
+        let anycast: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        group.bench_with_input(
+            BenchmarkId::new("anycast_all_links", label),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let out = engine
+                        .propagate_config(&origin, black_box(&anycast), 200)
+                        .unwrap();
+                    black_box(out.reachable_count())
+                })
+            },
+        );
+        // Poisoned announcement (extra path work + withdraw handling).
+        let targets =
+            trackdown_core::generator::poison_targets(&world.topology, &origin);
+        let poison_asn = targets.first().map(|t| t.target).unwrap_or(Asn(9999));
+        let poisoned: Vec<LinkAnnouncement> = origin
+            .link_ids()
+            .map(|l| {
+                if l == LinkId(0) {
+                    LinkAnnouncement::poisoned(l, vec![poison_asn])
+                } else {
+                    LinkAnnouncement::plain(l)
+                }
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("poisoned", label), &(), |b, _| {
+            b.iter(|| {
+                let out = engine
+                    .propagate_config(&origin, black_box(&poisoned), 200)
+                    .unwrap();
+                black_box(out.reachable_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_setup(c: &mut Criterion) {
+    let world = generate(&TopologyConfig::medium(1));
+    c.bench_function("engine_build_medium", |b| {
+        b.iter(|| {
+            let engine = BgpEngine::new(&world.topology, &EngineConfig::default());
+            black_box(engine.policy().num_violators())
+        })
+    });
+}
+
+criterion_group!(benches, bench_propagation, bench_engine_setup);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! # trackdown-bench
+//!
+//! Criterion benchmarks for the trackdown stack; see the `benches/`
+//! directory:
+//!
+//! * `propagation` — BGP engine fixpoints per announcement configuration
+//!   at small/medium/full scale, plain and poisoned;
+//! * `clustering` — incremental catchment refinement vs the paper's naive
+//!   split, plus CCDF extraction;
+//! * `measurement` — traceroute campaigns, hop repair, and the
+//!   per-configuration measure() pipeline;
+//! * `pipeline` — per-figure workloads (campaign behind Figures 3/4,
+//!   Figure 8 schedulers, Figure 10 attribution) and the packet codec.
+//!
+//! Run with `cargo bench --workspace`.

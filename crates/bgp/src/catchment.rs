@@ -1,0 +1,178 @@
+//! Catchments: the partition of sources across the origin's peering links.
+//!
+//! For a given announcement configuration, each peering link "attracts
+//! traffic from non-overlapping regions of the Internet called the link's
+//! catchment" (§I). A [`Catchments`] value records, for every AS, which
+//! link its traffic ingresses through — or `None` when the AS cannot reach
+//! the prefix or was not observed.
+
+use crate::engine::RoutingOutcome;
+use crate::route::LinkId;
+use serde::{Deserialize, Serialize};
+use trackdown_topology::AsIndex;
+
+/// Per-AS catchment assignment for one announcement configuration.
+///
+/// By construction each source appears in at most one catchment, the
+/// invariant §IV-c requires of any source granularity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Catchments {
+    assignment: Vec<Option<LinkId>>,
+}
+
+impl Catchments {
+    /// An empty assignment over `n` ASes.
+    pub fn unassigned(n: usize) -> Catchments {
+        Catchments {
+            assignment: vec![None; n],
+        }
+    }
+
+    /// Control-plane catchments: the ingress tag of each AS's best route.
+    pub fn from_control_plane(outcome: &RoutingOutcome) -> Catchments {
+        Catchments {
+            assignment: outcome.control_catchments(),
+        }
+    }
+
+    /// Data-plane catchments: follow each AS's forwarding chain to the
+    /// origin. Slower but faithful to what traffic actually does; this is
+    /// what honeypot volume accounting sees.
+    pub fn from_data_plane(outcome: &RoutingOutcome) -> Catchments {
+        let assignment = (0..outcome.best.len())
+            .map(|i| {
+                outcome
+                    .forwarding_walk(AsIndex(i as u32))
+                    .map(|w| w.link)
+            })
+            .collect();
+        Catchments { assignment }
+    }
+
+    /// Number of ASes covered (assigned or not).
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True when no AS is tracked at all.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Catchment of one AS.
+    pub fn get(&self, i: AsIndex) -> Option<LinkId> {
+        self.assignment[i.us()]
+    }
+
+    /// Assign an AS to a link (used when building *measured* catchments).
+    pub fn set(&mut self, i: AsIndex, link: Option<LinkId>) {
+        self.assignment[i.us()] = link;
+    }
+
+    /// All ASes assigned to `link`.
+    pub fn members(&self, link: LinkId) -> impl Iterator<Item = AsIndex> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| **l == Some(link))
+            .map(|(i, _)| AsIndex(i as u32))
+    }
+
+    /// Number of ASes with an assignment.
+    pub fn assigned_count(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// ASes with no assignment (unreachable or unobserved).
+    pub fn unassigned_ases(&self) -> impl Iterator<Item = AsIndex> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_none())
+            .map(|(i, _)| AsIndex(i as u32))
+    }
+
+    /// Distinct links that have at least one member, ascending.
+    pub fn active_links(&self) -> Vec<LinkId> {
+        let mut links: Vec<LinkId> = self.assignment.iter().flatten().copied().collect();
+        links.sort_unstable();
+        links.dedup();
+        links
+    }
+
+    /// Per-link member counts as `(link, count)`, ascending by link.
+    pub fn sizes(&self) -> Vec<(LinkId, usize)> {
+        self.active_links()
+            .into_iter()
+            .map(|l| (l, self.members(l).count()))
+            .collect()
+    }
+
+    /// Fraction of assigned ASes whose assignment differs from `other`
+    /// (ASes unassigned in either are skipped). Useful to quantify how much
+    /// a configuration changed routing.
+    pub fn divergence(&self, other: &Catchments) -> f64 {
+        let mut common = 0usize;
+        let mut moved = 0usize;
+        for (a, b) in self.assignment.iter().zip(&other.assignment) {
+            if let (Some(x), Some(y)) = (a, b) {
+                common += 1;
+                if x != y {
+                    moved += 1;
+                }
+            }
+        }
+        if common == 0 {
+            0.0
+        } else {
+            moved as f64 / common as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catchments {
+        let mut c = Catchments::unassigned(5);
+        c.set(AsIndex(0), Some(LinkId(0)));
+        c.set(AsIndex(1), Some(LinkId(1)));
+        c.set(AsIndex(2), Some(LinkId(1)));
+        // 3 and 4 left unassigned.
+        c
+    }
+
+    #[test]
+    fn membership_and_counts() {
+        let c = sample();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.assigned_count(), 3);
+        assert_eq!(c.members(LinkId(1)).count(), 2);
+        assert_eq!(c.members(LinkId(9)).count(), 0);
+        assert_eq!(c.unassigned_ases().count(), 2);
+        assert_eq!(c.active_links(), vec![LinkId(0), LinkId(1)]);
+        assert_eq!(c.sizes(), vec![(LinkId(0), 1), (LinkId(1), 2)]);
+    }
+
+    #[test]
+    fn each_as_in_at_most_one_catchment() {
+        let c = sample();
+        let total: usize = c.active_links().iter().map(|&l| c.members(l).count()).sum();
+        assert_eq!(total, c.assigned_count());
+    }
+
+    #[test]
+    fn divergence_counts_moves() {
+        let a = sample();
+        let mut b = a.clone();
+        assert_eq!(a.divergence(&b), 0.0);
+        b.set(AsIndex(0), Some(LinkId(1)));
+        assert!((a.divergence(&b) - 1.0 / 3.0).abs() < 1e-9);
+        // Unassigned on either side is ignored.
+        b.set(AsIndex(1), None);
+        assert!((a.divergence(&b) - 1.0 / 2.0).abs() < 1e-9);
+        let empty = Catchments::unassigned(5);
+        assert_eq!(a.divergence(&empty), 0.0);
+    }
+}

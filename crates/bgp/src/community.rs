@@ -1,0 +1,184 @@
+//! BGP action communities for export control at the PoP provider.
+//!
+//! The paper's future work proposes "using BGP communities for
+//! controlling export policies (and influence routing decisions) on
+//! remote networks" (§VIII). Real transit providers offer exactly such
+//! traffic-engineering communities (e.g. `PROVIDER:no-export-to-peers`),
+//! honored by the *directly connected* provider. This module implements
+//! the three standard families:
+//!
+//! * [`Community::NoExportToPeers`] — the provider propagates the route to
+//!   its customers and providers only;
+//! * [`Community::NoExportToProviders`] — the provider keeps the route
+//!   inside its customer cone (plus its peers);
+//! * [`Community::PrependAtProvider`] — the provider prepends its own ASN
+//!   `n` extra times when exporting, weakening the route remotely without
+//!   lengthening it on the direct link.
+//!
+//! Communities are interpreted by the first hop only (the PoP provider),
+//! matching deployed practice; they are not propagated further.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trackdown_topology::NeighborKind;
+
+/// One action community attached to a per-link announcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Community {
+    /// Provider must not export this route to its settlement-free peers.
+    NoExportToPeers,
+    /// Provider must not export this route to its own providers
+    /// (propagation stays within the provider's customer cone and peers).
+    NoExportToProviders,
+    /// Provider prepends its own ASN this many extra times on export
+    /// (1–8, the range transit providers commonly offer).
+    PrependAtProvider(u8),
+}
+
+impl Community {
+    /// True when the community's parameters are in range.
+    pub fn is_valid(self) -> bool {
+        match self {
+            Community::PrependAtProvider(n) => (1..=8).contains(&n),
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Community::NoExportToPeers => write!(f, "no-export-to-peers"),
+            Community::NoExportToProviders => write!(f, "no-export-to-providers"),
+            Community::PrependAtProvider(n) => write!(f, "prepend-at-provider:{n}"),
+        }
+    }
+}
+
+/// The set of communities on one announcement (tiny, so a sorted Vec).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CommunitySet(Vec<Community>);
+
+impl CommunitySet {
+    /// The empty set.
+    pub fn empty() -> CommunitySet {
+        CommunitySet(Vec::new())
+    }
+
+    /// Build from a list (sorted, deduplicated).
+    pub fn from_vec(mut v: Vec<Community>) -> CommunitySet {
+        v.sort_unstable();
+        v.dedup();
+        CommunitySet(v)
+    }
+
+    /// True when no community is attached.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate the communities.
+    pub fn iter(&self) -> impl Iterator<Item = Community> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// All communities valid?
+    pub fn is_valid(&self) -> bool {
+        self.0.iter().all(|c| c.is_valid())
+    }
+
+    /// May the provider export a route carrying these communities to a
+    /// neighbor of the given kind (from the provider's perspective)?
+    pub fn allows_export_to(&self, to_kind: NeighborKind) -> bool {
+        match to_kind {
+            NeighborKind::Customer => true, // always allowed
+            NeighborKind::Peer => !self.0.contains(&Community::NoExportToPeers),
+            NeighborKind::Provider => !self.0.contains(&Community::NoExportToProviders),
+        }
+    }
+
+    /// Extra prepends the provider applies on export (0 when no
+    /// prepend community is attached; the largest wins if several).
+    pub fn provider_prepends(&self) -> usize {
+        self.0
+            .iter()
+            .filter_map(|c| match c {
+                Community::PrependAtProvider(n) => Some(*n as usize),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl FromIterator<Community> for CommunitySet {
+    fn from_iter<T: IntoIterator<Item = Community>>(iter: T) -> Self {
+        CommunitySet::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_permissions() {
+        let none = CommunitySet::empty();
+        assert!(none.allows_export_to(NeighborKind::Customer));
+        assert!(none.allows_export_to(NeighborKind::Peer));
+        assert!(none.allows_export_to(NeighborKind::Provider));
+
+        let no_peers = CommunitySet::from_vec(vec![Community::NoExportToPeers]);
+        assert!(no_peers.allows_export_to(NeighborKind::Customer));
+        assert!(!no_peers.allows_export_to(NeighborKind::Peer));
+        assert!(no_peers.allows_export_to(NeighborKind::Provider));
+
+        let cone_only = CommunitySet::from_vec(vec![
+            Community::NoExportToPeers,
+            Community::NoExportToProviders,
+        ]);
+        assert!(cone_only.allows_export_to(NeighborKind::Customer));
+        assert!(!cone_only.allows_export_to(NeighborKind::Peer));
+        assert!(!cone_only.allows_export_to(NeighborKind::Provider));
+    }
+
+    #[test]
+    fn provider_prepends_take_max() {
+        let s = CommunitySet::from_vec(vec![
+            Community::PrependAtProvider(2),
+            Community::PrependAtProvider(5),
+        ]);
+        assert_eq!(s.provider_prepends(), 5);
+        assert_eq!(CommunitySet::empty().provider_prepends(), 0);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Community::PrependAtProvider(1).is_valid());
+        assert!(Community::PrependAtProvider(8).is_valid());
+        assert!(!Community::PrependAtProvider(0).is_valid());
+        assert!(!Community::PrependAtProvider(9).is_valid());
+        assert!(Community::NoExportToPeers.is_valid());
+        let bad = CommunitySet::from_vec(vec![Community::PrependAtProvider(0)]);
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn from_vec_sorts_and_dedups() {
+        let s = CommunitySet::from_vec(vec![
+            Community::NoExportToPeers,
+            Community::NoExportToPeers,
+            Community::NoExportToProviders,
+        ]);
+        assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Community::NoExportToPeers.to_string(), "no-export-to-peers");
+        assert_eq!(
+            Community::PrependAtProvider(4).to_string(),
+            "prepend-at-provider:4"
+        );
+    }
+}

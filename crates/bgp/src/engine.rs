@@ -1,0 +1,1004 @@
+//! Deterministic event-driven BGP route propagation.
+//!
+//! The engine computes, for one announcement configuration, the fixpoint of
+//! standard BGP processing over the whole topology: every AS repeatedly
+//! imports offers from its neighbors (loop prevention, LocalPref
+//! assignment), selects a best route (LocalPref ▸ AS-path length ▸
+//! deterministic salted tiebreak), and exports per valley-free policy.
+//! Processing uses an activation queue and terminates when no RIB changes,
+//! which Gao-Rexford-compliant policies guarantee; an event cap guards
+//! against dispute wheels introduced by policy violators.
+
+use crate::community::CommunitySet;
+use crate::origin::{Injection, LinkAnnouncement, OriginAs, OriginError};
+use crate::policy::{PolicyConfig, PolicyTable};
+use crate::route::{LinkId, Route};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use trackdown_topology::{cone::ConeInfo, AsIndex, NeighborKind, Topology};
+
+/// Engine configuration: policy knobs plus the convergence guard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Policy realism knobs (violators, loop prevention, tier-1 filters).
+    pub policy: PolicyConfig,
+    /// Event cap = `max_events_factor × num_ases`. Propagation that does
+    /// not quiesce within the cap is reported as non-converged.
+    pub max_events_factor: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            policy: PolicyConfig::default(),
+            max_events_factor: 200,
+        }
+    }
+}
+
+/// One best-route change during propagation — the control-plane event a
+/// route collector would see as a BGP UPDATE from that AS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteChange {
+    /// Causal depth (round) at which the change happened.
+    pub round: u32,
+    /// The AS whose best route changed.
+    pub at: AsIndex,
+    /// Ingress link of the new best route (`None` = withdrawal).
+    pub ingress: Option<LinkId>,
+    /// AS-path length of the new best route (0 on withdrawal).
+    pub path_len: usize,
+}
+
+/// The data-plane path taken from a source AS to the origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardingPath {
+    /// ASes traversed, source first, PoP provider last.
+    pub hops: Vec<AsIndex>,
+    /// The peering link traffic ultimately enters the origin through.
+    pub link: LinkId,
+}
+
+/// Fixpoint routing state for one announcement configuration.
+#[derive(Debug, Clone)]
+pub struct RoutingOutcome {
+    /// Best route per AS (`None` = prefix unreachable from that AS).
+    pub best: Vec<Option<Route>>,
+    /// Adj-RIB-In snapshot per AS at fixpoint: every candidate route that
+    /// survived import. Used by the compliance analysis (Fig 9).
+    pub candidates: Vec<Vec<Route>>,
+    /// Number of decision events processed.
+    pub events: usize,
+    /// Convergence depth: the longest chain of causally-dependent best-
+    /// route changes. One round ≈ one MRAI interval in deployment terms,
+    /// so this is the simulator's proxy for convergence *time* (the paper
+    /// waits 70 minutes per configuration; \[25\] reports convergence under
+    /// 2.5 minutes 99% of the time).
+    pub rounds: u32,
+    /// Every best-route change in processing order — the campaign-wide
+    /// union is the "thousands of route changes" the paper's public
+    /// dataset advertises (§VI), and per-feeder slices are what BGP
+    /// collectors receive as UPDATE streams.
+    pub changes: Vec<RouteChange>,
+    /// False if the event cap fired before quiescence.
+    pub converged: bool,
+}
+
+impl RoutingOutcome {
+    /// Control-plane catchment of an AS: the ingress tag of its best route.
+    pub fn catchment(&self, i: AsIndex) -> Option<LinkId> {
+        self.best[i.us()].as_ref().map(|r| r.ingress)
+    }
+
+    /// Control-plane catchments for all ASes.
+    pub fn control_catchments(&self) -> Vec<Option<LinkId>> {
+        self.best
+            .iter()
+            .map(|b| b.as_ref().map(|r| r.ingress))
+            .collect()
+    }
+
+    /// Walk the data plane from `from` toward the origin, following each
+    /// AS's best-route next hop. Returns `None` when the prefix is
+    /// unreachable or a forwarding loop is met (possible only when some AS
+    /// on the walk has loop prevention disabled).
+    pub fn forwarding_walk(&self, from: AsIndex) -> Option<ForwardingPath> {
+        let mut hops = Vec::new();
+        let mut cur = from;
+        let mut visited = std::collections::HashSet::new();
+        loop {
+            if !visited.insert(cur) {
+                return None; // forwarding loop
+            }
+            let route = self.best[cur.us()].as_ref()?;
+            hops.push(cur);
+            match route.from_neighbor {
+                Some(next) => cur = next,
+                None => {
+                    return Some(ForwardingPath {
+                        hops,
+                        link: route.ingress,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Number of ASes that can reach the prefix.
+    pub fn reachable_count(&self) -> usize {
+        self.best.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+/// The propagation engine, bound to one topology and one policy table.
+///
+/// Building the engine is O(V+E); each [`BgpEngine::propagate`] run is
+/// independent, so one engine serves an entire multi-configuration
+/// experiment.
+pub struct BgpEngine<'t> {
+    topo: &'t Topology,
+    policy: PolicyTable,
+}
+
+impl<'t> BgpEngine<'t> {
+    /// Build an engine over `topo` with the given configuration.
+    pub fn new(topo: &'t Topology, config: &EngineConfig) -> BgpEngine<'t> {
+        let cones = ConeInfo::compute(topo);
+        BgpEngine {
+            topo,
+            policy: PolicyTable::build(topo, &cones, &config.policy),
+        }
+    }
+
+    /// Build an engine reusing a precomputed [`ConeInfo`].
+    pub fn with_cones(
+        topo: &'t Topology,
+        cones: &ConeInfo,
+        config: &EngineConfig,
+    ) -> BgpEngine<'t> {
+        BgpEngine {
+            topo,
+            policy: PolicyTable::build(topo, cones, &config.policy),
+        }
+    }
+
+    /// The policy table in use (for analyses that need violator sets etc.).
+    pub fn policy(&self) -> &PolicyTable {
+        &self.policy
+    }
+
+    /// The topology this engine routes over.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// Convenience: validate a configuration against the origin, build
+    /// injections, and propagate.
+    pub fn propagate_config(
+        &self,
+        origin: &OriginAs,
+        announcements: &[LinkAnnouncement],
+        max_events_factor: usize,
+    ) -> Result<RoutingOutcome, OriginError> {
+        let inj = origin.build_injections(self.topo, announcements)?;
+        Ok(self.propagate(&inj, max_events_factor))
+    }
+
+    /// Position of neighbor `j` within `i`'s (sorted) neighbor list.
+    #[inline]
+    fn neighbor_pos(&self, i: AsIndex, j: AsIndex) -> Option<usize> {
+        self.topo
+            .neighbors(i)
+            .binary_search_by_key(&j, |(n, _)| *n)
+            .ok()
+    }
+
+    /// True when `a` is strictly better than `b` at AS `at` under the full
+    /// decision process.
+    fn better(&self, at: AsIndex, a: &Route, b: &Route) -> bool {
+        if a.local_pref != b.local_pref {
+            return a.local_pref > b.local_pref;
+        }
+        if a.path_len() != b.path_len() {
+            return a.path_len() < b.path_len();
+        }
+        let ta = self.policy.tiebreak(at, a);
+        let tb = self.policy.tiebreak(at, b);
+        if ta != tb {
+            return ta < tb;
+        }
+        // Total order fallback: neighbor index then ingress link.
+        let na = a.from_neighbor.map(|n| n.0 + 1).unwrap_or(0);
+        let nb = b.from_neighbor.map(|n| n.0 + 1).unwrap_or(0);
+        if na != nb {
+            return na < nb;
+        }
+        a.ingress < b.ingress
+    }
+
+    /// Run best-path selection at `at` over the direct injections and the
+    /// Adj-RIB-In.
+    fn decide(
+        &self,
+        at: AsIndex,
+        direct: &[Route],
+        rib: &[Option<Route>],
+    ) -> Option<Route> {
+        let mut best: Option<&Route> = None;
+        for cand in direct.iter().chain(rib.iter().flatten()) {
+            best = match best {
+                None => Some(cand),
+                Some(cur) => {
+                    if self.better(at, cand, cur) {
+                        Some(cand)
+                    } else {
+                        Some(cur)
+                    }
+                }
+            };
+        }
+        best.cloned()
+    }
+
+    /// Propagate a set of origin injections to fixpoint (cold start:
+    /// empty RIBs everywhere).
+    pub fn propagate(&self, injections: &[Injection], max_events_factor: usize) -> RoutingOutcome {
+        let mut sim = Simulation::new(self);
+        sim.apply_injections(injections);
+        sim.run(max_events_factor);
+        sim.snapshot()
+    }
+
+    /// Deploy `next` *on top of* the converged state of `prev` — what a
+    /// real configuration change does. The old announcements are replaced
+    /// (withdrawn links produce withdrawal churn), and the returned
+    /// outcome's `changes`/`rounds` describe only the transition, not the
+    /// cold start. This is the event stream the paper's public dataset
+    /// records across its 705 deployments ("thousands of route changes",
+    /// §VI).
+    pub fn transition(
+        &self,
+        prev: &[Injection],
+        next: &[Injection],
+        max_events_factor: usize,
+    ) -> RoutingOutcome {
+        let mut sim = Simulation::new(self);
+        sim.apply_injections(prev);
+        sim.run(max_events_factor);
+        sim.begin_epoch();
+        sim.replace_injections(next);
+        sim.run(max_events_factor);
+        sim.snapshot()
+    }
+
+    /// Convenience: transition between two origin configurations.
+    pub fn transition_config(
+        &self,
+        origin: &OriginAs,
+        prev: &[LinkAnnouncement],
+        next: &[LinkAnnouncement],
+        max_events_factor: usize,
+    ) -> Result<RoutingOutcome, OriginError> {
+        let prev_inj = origin.build_injections(self.topo, prev)?;
+        let next_inj = origin.build_injections(self.topo, next)?;
+        Ok(self.transition(&prev_inj, &next_inj, max_events_factor))
+    }
+}
+
+/// Mutable propagation state: per-AS direct routes, Adj-RIB-Ins, best
+/// routes, and the activation queue. One [`Simulation`] can run several
+/// epochs (configuration deployments) back to back, which is how
+/// [`BgpEngine::transition`] models warm-start configuration changes.
+struct Simulation<'e, 't> {
+    engine: &'e BgpEngine<'t>,
+    direct: Vec<Vec<Route>>,
+    ribs: Vec<Vec<Option<Route>>>,
+    best: Vec<Option<Route>>,
+    queue: VecDeque<AsIndex>,
+    in_queue: Vec<bool>,
+    depth: Vec<u32>,
+    pending_depth: Vec<u32>,
+    max_depth: u32,
+    changes: Vec<RouteChange>,
+    events: usize,
+    converged: bool,
+}
+
+impl<'e, 't> Simulation<'e, 't> {
+    fn new(engine: &'e BgpEngine<'t>) -> Simulation<'e, 't> {
+        let topo = engine.topo;
+        let n = topo.num_ases();
+        Simulation {
+            engine,
+            direct: vec![Vec::new(); n],
+            ribs: topo
+                .indices()
+                .map(|i| vec![None; topo.degree(i)])
+                .collect(),
+            best: vec![None; n],
+            queue: VecDeque::new(),
+            in_queue: vec![false; n],
+            depth: vec![0; n],
+            pending_depth: vec![0; n],
+            max_depth: 0,
+            changes: Vec::new(),
+            events: 0,
+            converged: true,
+        }
+    }
+
+    fn enqueue(&mut self, i: AsIndex) {
+        if !self.in_queue[i.us()] {
+            self.in_queue[i.us()] = true;
+            self.queue.push_back(i);
+        }
+    }
+
+    /// Inject origin announcements at each PoP's provider. The provider
+    /// treats the origin as a customer.
+    fn apply_injections(&mut self, injections: &[Injection]) {
+        let engine = self.engine;
+        for inj in injections {
+            if !engine
+                .policy
+                .accepts(engine.topo, inj.provider, None, &inj.path)
+            {
+                continue; // provider itself poisoned, or tier-1 filter
+            }
+            let lp = engine
+                .policy
+                .local_pref(inj.provider, None, NeighborKind::Customer);
+            self.direct[inj.provider.us()].push(Route {
+                path: inj.path.clone(),
+                ingress: inj.link,
+                from_neighbor: None,
+                local_pref: lp,
+                learned_from: NeighborKind::Customer,
+                communities: inj.communities.clone(),
+            });
+            self.enqueue(inj.provider);
+        }
+    }
+
+    /// Start a fresh measurement epoch: reset round accounting and the
+    /// change log, keeping the converged routing state.
+    fn begin_epoch(&mut self) {
+        self.depth.fill(0);
+        self.pending_depth.fill(0);
+        self.max_depth = 0;
+        self.changes.clear();
+        self.events = 0;
+    }
+
+    /// Replace the origin's announcements: withdraw every current direct
+    /// route, then inject the new set. Providers losing or gaining a
+    /// direct route are activated and the withdrawal/announcement churn
+    /// propagates on the next [`Simulation::run`].
+    fn replace_injections(&mut self, injections: &[Injection]) {
+        for i in 0..self.direct.len() {
+            if !self.direct[i].is_empty() {
+                self.direct[i].clear();
+                self.enqueue(AsIndex(i as u32));
+            }
+        }
+        self.apply_injections(injections);
+    }
+
+    /// Process the activation queue to quiescence (or the event cap).
+    fn run(&mut self, max_events_factor: usize) {
+        let engine = self.engine;
+        let n = engine.topo.num_ases();
+        let cap = max_events_factor.saturating_mul(n.max(1));
+        while let Some(i) = self.queue.pop_front() {
+            self.in_queue[i.us()] = false;
+            self.events += 1;
+            if self.events > cap {
+                self.converged = false;
+                break;
+            }
+            let new_best = engine.decide(i, &self.direct[i.us()], &self.ribs[i.us()]);
+            if new_best == self.best[i.us()] {
+                continue;
+            }
+            self.best[i.us()] = new_best;
+            self.depth[i.us()] = self.pending_depth[i.us()];
+            self.max_depth = self.max_depth.max(self.depth[i.us()]);
+            self.changes.push(RouteChange {
+                round: self.depth[i.us()],
+                at: i,
+                ingress: self.best[i.us()].as_ref().map(|r| r.ingress),
+                path_len: self.best[i.us()].as_ref().map(|r| r.path_len()).unwrap_or(0),
+            });
+            let own_asn = engine.topo.asn_of(i);
+            // Export (or withdraw) toward every neighbor.
+            for &(j, j_kind_from_i) in engine.topo.neighbors(i) {
+                // `j_kind_from_i`: how j looks from i (is j my customer?).
+                let offer = match &self.best[i.us()] {
+                    Some(r)
+                        if engine.policy.may_export(r.learned_from, j_kind_from_i)
+                            // Origin action communities: the PoP provider
+                            // (holder of the direct route) honors export
+                            // scoping toward peers/providers.
+                            && (r.from_neighbor.is_some()
+                                || r.communities.allows_export_to(j_kind_from_i))
+                            && r.from_neighbor != Some(j) =>
+                    {
+                        // Provider-side prepending community: the provider
+                        // prepends its own ASN extra times on export of a
+                        // direct route.
+                        let extra = if r.from_neighbor.is_none() {
+                            r.communities.provider_prepends()
+                        } else {
+                            0
+                        };
+                        let path = r.path.prepended_by_times(own_asn, 1 + extra);
+                        if engine.policy.accepts(engine.topo, j, Some(i), &path) {
+                            let i_kind_from_j = j_kind_from_i.reverse();
+                            Some(Route {
+                                path,
+                                ingress: r.ingress,
+                                from_neighbor: Some(i),
+                                local_pref: engine.policy.local_pref(
+                                    j,
+                                    Some(i),
+                                    i_kind_from_j,
+                                ),
+                                learned_from: i_kind_from_j,
+                                // First-hop semantics: stripped on export.
+                                communities: CommunitySet::empty(),
+                            })
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                let pos = engine
+                    .neighbor_pos(j, i)
+                    .expect("adjacency is symmetric");
+                if self.ribs[j.us()][pos] != offer {
+                    self.ribs[j.us()][pos] = offer;
+                    self.pending_depth[j.us()] =
+                        self.pending_depth[j.us()].max(self.depth[i.us()] + 1);
+                    self.enqueue(j);
+                }
+            }
+        }
+    }
+
+    /// Snapshot the converged state into a [`RoutingOutcome`].
+    fn snapshot(self) -> RoutingOutcome {
+        let candidates = (0..self.direct.len())
+            .map(|i| {
+                self.direct[i]
+                    .iter()
+                    .cloned()
+                    .chain(self.ribs[i].iter().flatten().cloned())
+                    .collect()
+            })
+            .collect();
+        RoutingOutcome {
+            best: self.best,
+            candidates,
+            events: self.events,
+            rounds: self.max_depth,
+            changes: self.changes,
+            converged: self.converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::OriginAs;
+    use trackdown_topology::{topology_from_links, Asn, LinkKind};
+
+    /// Textbook policies, no noise.
+    fn clean_config() -> EngineConfig {
+        EngineConfig {
+            policy: PolicyConfig {
+                seed: 7,
+                violator_fraction: 0.0,
+                no_loop_prevention_fraction: 0.0,
+                tier1_poison_filtering: false,
+            },
+            max_events_factor: 200,
+        }
+    }
+
+    /// Figure-2-like topology:
+    ///
+    /// ```text
+    ///        t1 ──── t2        (tier-1 peers)
+    ///       /  \    /  \
+    ///      x    n──u    y      (transits; n-u is a peering link)
+    ///                          x, n, y are origin providers
+    ///      u also serves stubs a, b
+    /// ```
+    fn fig2_topology() -> trackdown_topology::Topology {
+        topology_from_links([
+            (Asn(1), Asn(2), LinkKind::PeerPeer),          // t1-t2
+            (Asn(1), Asn(10), LinkKind::ProviderCustomer), // t1 -> x
+            (Asn(1), Asn(11), LinkKind::ProviderCustomer), // t1 -> n
+            (Asn(2), Asn(12), LinkKind::ProviderCustomer), // t2 -> u
+            (Asn(2), Asn(13), LinkKind::ProviderCustomer), // t2 -> y
+            (Asn(11), Asn(12), LinkKind::PeerPeer),        // n-u peering
+            (Asn(12), Asn(20), LinkKind::ProviderCustomer), // u -> a
+            (Asn(12), Asn(21), LinkKind::ProviderCustomer), // u -> b
+        ])
+        .unwrap()
+    }
+
+    fn origin_xny() -> OriginAs {
+        OriginAs::new(
+            Asn(47065),
+            vec![
+                ("X".into(), Asn(10)),
+                ("N".into(), Asn(11)),
+                ("Y".into(), Asn(13)),
+            ],
+        )
+    }
+
+    fn all_plain(o: &OriginAs) -> Vec<LinkAnnouncement> {
+        o.link_ids().map(LinkAnnouncement::plain).collect()
+    }
+
+    #[test]
+    fn anycast_reaches_everyone() {
+        let topo = fig2_topology();
+        let engine = BgpEngine::new(&topo, &clean_config());
+        let o = origin_xny();
+        let out = engine
+            .propagate_config(&o, &all_plain(&o), 200)
+            .unwrap();
+        assert!(out.converged);
+        assert_eq!(out.reachable_count(), topo.num_ases());
+    }
+
+    #[test]
+    fn customers_of_u_route_through_peering_link_n() {
+        let topo = fig2_topology();
+        let engine = BgpEngine::new(&topo, &clean_config());
+        let o = origin_xny();
+        let out = engine.propagate_config(&o, &all_plain(&o), 200).unwrap();
+        // u prefers the peer route via n (LocalPref peer > provider via t2),
+        // so u and its customers a, b land in N's catchment (link 1).
+        for asn in [12u32, 20, 21] {
+            let i = topo.index_of(Asn(asn)).unwrap();
+            assert_eq!(
+                out.catchment(i),
+                Some(LinkId(1)),
+                "AS{asn} should use the n-u peering link"
+            );
+        }
+    }
+
+    #[test]
+    fn withdrawing_a_link_moves_its_catchment() {
+        let topo = fig2_topology();
+        let engine = BgpEngine::new(&topo, &clean_config());
+        let o = origin_xny();
+        // Announce only via X and Y (withdraw N, link 1).
+        let anns = vec![
+            LinkAnnouncement::plain(LinkId(0)),
+            LinkAnnouncement::plain(LinkId(2)),
+        ];
+        let out = engine.propagate_config(&o, &anns, 200).unwrap();
+        assert_eq!(out.reachable_count(), topo.num_ases());
+        for i in topo.indices() {
+            assert_ne!(out.catchment(i), Some(LinkId(1)), "link 1 was withdrawn");
+        }
+        // u now reaches the origin through its provider t2 toward y.
+        let iu = topo.index_of(Asn(12)).unwrap();
+        assert_eq!(out.catchment(iu), Some(LinkId(2)));
+    }
+
+    #[test]
+    fn poisoning_u_forces_u_off_the_n_link() {
+        let topo = fig2_topology();
+        let engine = BgpEngine::new(&topo, &clean_config());
+        let o = origin_xny();
+        // Poison u on the announcement through n (Figure 2 of the paper).
+        let anns = vec![
+            LinkAnnouncement::plain(LinkId(0)),
+            LinkAnnouncement::poisoned(LinkId(1), vec![Asn(12)]),
+            LinkAnnouncement::plain(LinkId(2)),
+        ];
+        let out = engine.propagate_config(&o, &anns, 200).unwrap();
+        assert!(out.converged);
+        // u must not use the poisoned n announcement: loop prevention drops
+        // it, so u falls back to its provider t2 and lands in Y's catchment.
+        for asn in [12u32, 20, 21] {
+            let i = topo.index_of(Asn(asn)).unwrap();
+            assert_eq!(
+                out.catchment(i),
+                Some(LinkId(2)),
+                "AS{asn} must avoid the poisoned link"
+            );
+        }
+        // n itself still uses its own direct route.
+        let in_ = topo.index_of(Asn(11)).unwrap();
+        assert_eq!(out.catchment(in_), Some(LinkId(1)));
+    }
+
+    #[test]
+    fn poisoning_is_ineffective_when_loop_prevention_disabled() {
+        let topo = fig2_topology();
+        let cfg = EngineConfig {
+            policy: PolicyConfig {
+                seed: 7,
+                violator_fraction: 0.0,
+                no_loop_prevention_fraction: 1.0, // everyone ignores poison
+                tier1_poison_filtering: false,
+            },
+            max_events_factor: 200,
+        };
+        let engine = BgpEngine::new(&topo, &cfg);
+        let o = origin_xny();
+        let anns = vec![
+            LinkAnnouncement::plain(LinkId(0)),
+            LinkAnnouncement::poisoned(LinkId(1), vec![Asn(12)]),
+            LinkAnnouncement::plain(LinkId(2)),
+        ];
+        let out = engine.propagate_config(&o, &anns, 200).unwrap();
+        // u keeps preferring the peer route despite being poisoned.
+        let iu = topo.index_of(Asn(12)).unwrap();
+        assert_eq!(out.catchment(iu), Some(LinkId(1)));
+    }
+
+    #[test]
+    fn prepending_moves_length_based_ties() {
+        // Stub s is a customer of two transits m and p, both customers of
+        // origin providers. With equal LocalPref and equal path lengths the
+        // salted tiebreak decides; prepending one link must force s to the
+        // other link regardless of salt.
+        let topo = topology_from_links([
+            (Asn(10), Asn(30), LinkKind::ProviderCustomer),
+            (Asn(11), Asn(30), LinkKind::ProviderCustomer),
+        ])
+        .unwrap();
+        let o = OriginAs::new(
+            Asn(47065),
+            vec![("M".into(), Asn(10)), ("P".into(), Asn(11))],
+        );
+        let engine = BgpEngine::new(&topo, &clean_config());
+        let is = topo.index_of(Asn(30)).unwrap();
+
+        // Baseline: both plain; s picks one by tiebreak.
+        let out = engine.propagate_config(&o, &all_plain(&o), 200).unwrap();
+        let baseline = out.catchment(is).unwrap();
+        let other = if baseline == LinkId(0) { LinkId(1) } else { LinkId(0) };
+
+        // Prepend on the baseline link: s must switch to the other link.
+        let anns = vec![
+            LinkAnnouncement {
+                link: baseline,
+                prepend: true,
+                poisons: vec![],
+                communities: CommunitySet::empty(),
+            },
+            LinkAnnouncement::plain(other),
+        ];
+        let out2 = engine.propagate_config(&o, &anns, 200).unwrap();
+        assert_eq!(out2.catchment(is), Some(other));
+    }
+
+    #[test]
+    fn forwarding_walk_matches_control_plane() {
+        let topo = fig2_topology();
+        let engine = BgpEngine::new(&topo, &clean_config());
+        let o = origin_xny();
+        let out = engine.propagate_config(&o, &all_plain(&o), 200).unwrap();
+        for i in topo.indices() {
+            let walk = out.forwarding_walk(i).expect("reachable");
+            // Data-plane ingress equals control-plane catchment for clean
+            // policies (no violators): the tagged route is what forwarding
+            // follows hop by hop.
+            assert_eq!(Some(walk.link), out.catchment(i));
+            assert_eq!(walk.hops[0], i);
+            // Last hop is a PoP provider.
+            let last = *walk.hops.last().unwrap();
+            let last_asn = topo.asn_of(last);
+            assert!(o.links.iter().any(|l| l.provider == last_asn));
+        }
+    }
+
+    #[test]
+    fn no_announcement_no_routes() {
+        let topo = fig2_topology();
+        let engine = BgpEngine::new(&topo, &clean_config());
+        let out = engine.propagate(&[], 200);
+        assert_eq!(out.reachable_count(), 0);
+        assert!(out.converged);
+        assert!(out.forwarding_walk(AsIndex(0)).is_none());
+    }
+
+    #[test]
+    fn no_export_to_providers_confines_link_to_provider_cone() {
+        use crate::catchment::Catchments;
+        use crate::community::{Community, CommunitySet};
+        use trackdown_topology::cone::ConeInfo;
+        use trackdown_topology::gen::{generate, TopologyConfig};
+        let g = generate(&TopologyConfig::small(19));
+        let origin = OriginAs::peering_style(&g, 3);
+        let engine = BgpEngine::new(&g.topology, &clean_config());
+        let cones = ConeInfo::compute(&g.topology);
+        let scoped = LinkId(0);
+        let provider = g
+            .topology
+            .index_of(origin.links[scoped.us()].provider)
+            .unwrap();
+        let anns: Vec<LinkAnnouncement> = origin
+            .link_ids()
+            .map(|l| {
+                if l == scoped {
+                    LinkAnnouncement::with_communities(
+                        l,
+                        CommunitySet::from_vec(vec![
+                            Community::NoExportToPeers,
+                            Community::NoExportToProviders,
+                        ]),
+                    )
+                } else {
+                    LinkAnnouncement::plain(l)
+                }
+            })
+            .collect();
+        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        assert!(out.converged);
+        // The scoped link's catchment is confined to the provider's
+        // customer cone (customer-only export).
+        for i in g.topology.indices() {
+            if out.catchment(i) == Some(scoped) {
+                assert!(
+                    cones.in_cone(provider, i),
+                    "{} outside the provider cone used link {scoped}",
+                    g.topology.asn_of(i)
+                );
+            }
+        }
+        // Everyone still reaches the prefix via the other links.
+        assert_eq!(out.reachable_count(), g.topology.num_ases());
+        // And the scoping actually shrank the link's catchment relative to
+        // the baseline.
+        let plain: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let base = engine.propagate_config(&origin, &plain, 200).unwrap();
+        let base_members = Catchments::from_control_plane(&base)
+            .members(scoped)
+            .count();
+        let scoped_members = Catchments::from_control_plane(&out)
+            .members(scoped)
+            .count();
+        assert!(scoped_members <= base_members);
+    }
+
+    #[test]
+    fn provider_prepend_community_weakens_link_remotely() {
+        use crate::catchment::Catchments;
+        use crate::community::{Community, CommunitySet};
+        use trackdown_topology::gen::{generate, TopologyConfig};
+        let g = generate(&TopologyConfig::small(20));
+        let origin = OriginAs::peering_style(&g, 3);
+        let engine = BgpEngine::new(&g.topology, &clean_config());
+        let target = LinkId(1);
+        let anns: Vec<LinkAnnouncement> = origin
+            .link_ids()
+            .map(|l| {
+                if l == target {
+                    LinkAnnouncement::with_communities(
+                        l,
+                        CommunitySet::from_vec(vec![Community::PrependAtProvider(4)]),
+                    )
+                } else {
+                    LinkAnnouncement::plain(l)
+                }
+            })
+            .collect();
+        let plain: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let base = engine.propagate_config(&origin, &plain, 200).unwrap();
+        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        // The provider itself still prefers its direct route (communities
+        // only act on export)...
+        let p = g
+            .topology
+            .index_of(origin.links[target.us()].provider)
+            .unwrap();
+        assert_eq!(out.catchment(p), Some(target));
+        // ...but the link attracts at most as many remote ASes as before
+        // (it loses every tie the path length used to decide).
+        let before = Catchments::from_control_plane(&base).members(target).count();
+        let after = Catchments::from_control_plane(&out).members(target).count();
+        assert!(after <= before, "prepend community attracted traffic?");
+    }
+
+    #[test]
+    fn convergence_rounds_are_bounded_by_diameter_scale() {
+        use trackdown_topology::gen::{generate, TopologyConfig};
+        let g = generate(&TopologyConfig::medium(25));
+        let origin = OriginAs::peering_style(&g, 5);
+        let engine = BgpEngine::new(&g.topology, &clean_config());
+        let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        assert!(out.converged);
+        // Depth 0 at the PoP providers, growing along the propagation
+        // frontier: bounded by a small multiple of the AS-level diameter
+        // (path exploration can exceed the plain BFS depth).
+        assert!(out.rounds >= 1, "some AS must depend on another's change");
+        assert!(
+            out.rounds <= 30,
+            "convergence depth {} looks like an oscillation",
+            out.rounds
+        );
+        // Withdraw-heavy configurations still converge in bounded depth.
+        let single = vec![LinkAnnouncement::plain(LinkId(0))];
+        let out2 = engine.propagate_config(&origin, &single, 200).unwrap();
+        assert!(out2.converged);
+        assert!(out2.rounds <= 40);
+    }
+
+    #[test]
+    fn transition_reaches_the_same_fixpoint_as_cold_start() {
+        use trackdown_topology::gen::{generate, TopologyConfig};
+        let g = generate(&TopologyConfig::small(26));
+        let origin = OriginAs::peering_style(&g, 4);
+        let engine = BgpEngine::new(&g.topology, &clean_config());
+        let all: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let subset: Vec<_> = origin
+            .link_ids()
+            .take(2)
+            .map(LinkAnnouncement::plain)
+            .collect();
+        // Deterministic path-vector fixpoints: the warm-start transition
+        // must land on exactly the cold-start state of the new config.
+        let cold = engine.propagate_config(&origin, &subset, 200).unwrap();
+        let warm = engine
+            .transition_config(&origin, &all, &subset, 200)
+            .unwrap();
+        assert!(warm.converged);
+        assert_eq!(warm.best, cold.best);
+        assert_eq!(warm.candidates, cold.candidates);
+    }
+
+    #[test]
+    fn transition_changes_cover_only_moved_ases() {
+        use trackdown_topology::gen::{generate, TopologyConfig};
+        let g = generate(&TopologyConfig::small(27));
+        let origin = OriginAs::peering_style(&g, 4);
+        let engine = BgpEngine::new(&g.topology, &clean_config());
+        let all: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let subset: Vec<_> = origin
+            .link_ids()
+            .filter(|l| l.0 != 1)
+            .map(LinkAnnouncement::plain)
+            .collect();
+        let before = engine.propagate_config(&origin, &all, 200).unwrap();
+        let warm = engine.transition_config(&origin, &all, &subset, 200).unwrap();
+        // Every AS whose final route differs appears in the change log;
+        // ASes that kept their route emit nothing.
+        let changed: std::collections::HashSet<AsIndex> =
+            warm.changes.iter().map(|c| c.at).collect();
+        for i in g.topology.indices() {
+            let moved = before.best[i.us()] != warm.best[i.us()];
+            if moved {
+                assert!(changed.contains(&i), "moved AS {i:?} missing from log");
+            }
+        }
+        // The transition log is (much) smaller than a cold start's.
+        assert!(warm.changes.len() < before.changes.len());
+        // Transition churn includes the withdrawn link's old catchment at
+        // minimum.
+        let withdrawn_members = crate::Catchments::from_control_plane(&before)
+            .members(LinkId(1))
+            .count();
+        assert!(warm.changes.len() >= withdrawn_members.min(1));
+    }
+
+    #[test]
+    fn noop_transition_is_silent() {
+        use trackdown_topology::gen::{generate, TopologyConfig};
+        let g = generate(&TopologyConfig::small(28));
+        let origin = OriginAs::peering_style(&g, 3);
+        let engine = BgpEngine::new(&g.topology, &clean_config());
+        let all: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let warm = engine.transition_config(&origin, &all, &all, 200).unwrap();
+        // Re-announcing the identical configuration changes nothing: the
+        // direct routes are replaced by equal ones and no AS re-decides.
+        assert!(warm.changes.is_empty(), "{} spurious changes", warm.changes.len());
+        assert_eq!(warm.rounds, 0);
+    }
+
+    #[test]
+    fn invalid_community_rejected_at_injection() {
+        use crate::community::{Community, CommunitySet};
+        use trackdown_topology::gen::{generate, TopologyConfig};
+        let g = generate(&TopologyConfig::small(21));
+        let origin = OriginAs::peering_style(&g, 3);
+        let bad = LinkAnnouncement::with_communities(
+            LinkId(0),
+            CommunitySet::from_vec(vec![Community::PrependAtProvider(0)]),
+        );
+        assert!(matches!(
+            origin.build_injections(&g.topology, &[bad]),
+            Err(OriginError::InvalidCommunity(LinkId(0)))
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let topo = fig2_topology();
+        let engine = BgpEngine::new(&topo, &clean_config());
+        let o = origin_xny();
+        let a = engine.propagate_config(&o, &all_plain(&o), 200).unwrap();
+        let b = engine.propagate_config(&o, &all_plain(&o), 200).unwrap();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn candidates_include_all_viable_offers() {
+        let topo = fig2_topology();
+        let engine = BgpEngine::new(&topo, &clean_config());
+        let o = origin_xny();
+        let out = engine.propagate_config(&o, &all_plain(&o), 200).unwrap();
+        // u hears the route from its peer n and its provider t2: 2 candidates.
+        let iu = topo.index_of(Asn(12)).unwrap();
+        assert!(
+            out.candidates[iu.us()].len() >= 2,
+            "u should have at least 2 candidate routes, got {}",
+            out.candidates[iu.us()].len()
+        );
+        // The best route is always among the candidates.
+        for i in topo.indices() {
+            if let Some(b) = &out.best[i.us()] {
+                assert!(out.candidates[i.us()].contains(b));
+            }
+        }
+    }
+
+    #[test]
+    fn valley_free_property_of_all_paths() {
+        // No propagated path may go customer->provider after having gone
+        // provider->customer or peer->peer (valley-free).
+        let topo = fig2_topology();
+        let engine = BgpEngine::new(&topo, &clean_config());
+        let o = origin_xny();
+        let out = engine.propagate_config(&o, &all_plain(&o), 200).unwrap();
+        for i in topo.indices() {
+            if let Some(r) = &out.best[i.us()] {
+                // Reconstruct relationships along the distinct path,
+                // ignoring the origin (not in topology).
+                let hops: Vec<AsIndex> = r
+                    .path
+                    .distinct()
+                    .into_iter()
+                    .filter_map(|a| topo.index_of(a))
+                    .collect();
+                // Walk from origin side to receiver: reversed path plus i.
+                let mut chain: Vec<AsIndex> = hops;
+                chain.reverse();
+                chain.push(i);
+                // Along the propagation direction a path must be
+                // up* (to providers), then at most one peer crossing or
+                // descent, then down* (to customers) only.
+                let mut ascending = true;
+                for w in chain.windows(2) {
+                    // Direction of propagation is w[0] -> w[1]; `rel` is
+                    // how w[1] looks from w[0].
+                    let rel = topo.relationship(w[0], w[1]).expect("adjacent");
+                    match rel {
+                        NeighborKind::Customer => ascending = false, // down
+                        NeighborKind::Peer => {
+                            assert!(ascending, "peer edge after descent in {:?}", r.path);
+                            ascending = false;
+                        }
+                        NeighborKind::Provider => {
+                            assert!(ascending, "valley in path {:?}", r.path);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Routing policies: Gao-Rexford import preferences and valley-free export
+//! rules, plus the deviations the paper identifies in the wild.
+//!
+//! * **Policy violators** (§V-C, Fig 9): a configurable fraction of ASes do
+//!   not rank routes by relationship; they use arbitrary-but-stable
+//!   per-neighbor preferences (think traffic-engineering overrides).
+//! * **Disabled loop prevention** (§III-A-c): some ASes accept routes
+//!   containing their own ASN (e.g. multi-site interconnection over the
+//!   Internet), making them immune to BGP poisoning.
+//! * **Tier-1 poison filtering** (§III-A-c): tier-1s drop customer-learned
+//!   routes whose AS-path contains another tier-1, as those normally
+//!   indicate a route leak.
+
+use crate::route::Route;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use trackdown_topology::{cone::ConeInfo, AsIndex, AsPath, Asn, NeighborKind, Topology};
+
+/// Standard Gao-Rexford LocalPref bands.
+pub const LOCAL_PREF_CUSTOMER: u32 = 300;
+/// LocalPref assigned to peer-learned routes.
+pub const LOCAL_PREF_PEER: u32 = 200;
+/// LocalPref assigned to provider-learned routes.
+pub const LOCAL_PREF_PROVIDER: u32 = 100;
+
+/// Knobs controlling how faithfully ASes follow textbook policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Seed for violator selection, violator preferences, and tiebreak
+    /// salts. Independent of the topology seed.
+    pub seed: u64,
+    /// Fraction of ASes that deviate from Gao-Rexford preferences.
+    pub violator_fraction: f64,
+    /// Fraction of ASes with BGP loop prevention disabled (poison-immune).
+    pub no_loop_prevention_fraction: f64,
+    /// Whether tier-1 ASes filter customer routes containing other tier-1s.
+    pub tier1_poison_filtering: bool,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> PolicyConfig {
+        PolicyConfig {
+            seed: 0x90_11C7,
+            violator_fraction: 0.08,
+            no_loop_prevention_fraction: 0.02,
+            tier1_poison_filtering: true,
+        }
+    }
+}
+
+/// SplitMix64 — tiny deterministic mixer for salted tiebreaks.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Materialized per-AS policy state for one topology.
+#[derive(Debug, Clone)]
+pub struct PolicyTable {
+    /// ASes that deviate from Gao-Rexford import preferences.
+    violators: HashSet<AsIndex>,
+    /// ASes that do not run loop prevention on their own ASN.
+    no_loop_prevention: HashSet<AsIndex>,
+    /// Tier-1 ASes (provider-free core), as ASN set for path scanning.
+    tier1_asns: HashSet<Asn>,
+    /// Tier-1 ASes as index set.
+    tier1_idx: HashSet<AsIndex>,
+    /// Per-AS tiebreak salt (stands in for IGP cost / router-id diversity).
+    salts: Vec<u64>,
+    /// Whether tier-1 filtering is active.
+    tier1_filtering: bool,
+    seed: u64,
+}
+
+impl PolicyTable {
+    /// Build the policy table for a topology.
+    pub fn build(topo: &Topology, cones: &ConeInfo, cfg: &PolicyConfig) -> PolicyTable {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut violators = HashSet::new();
+        let mut no_loop_prevention = HashSet::new();
+        for i in topo.indices() {
+            if rng.random::<f64>() < cfg.violator_fraction {
+                violators.insert(i);
+            }
+            if rng.random::<f64>() < cfg.no_loop_prevention_fraction {
+                no_loop_prevention.insert(i);
+            }
+        }
+        let tier1_idx: HashSet<AsIndex> = cones.tier1s().collect();
+        let tier1_asns = tier1_idx.iter().map(|&i| topo.asn_of(i)).collect();
+        let salts = topo
+            .indices()
+            .map(|i| mix64(cfg.seed ^ ((i.0 as u64) << 17) ^ 0xA5A5))
+            .collect();
+        PolicyTable {
+            violators,
+            no_loop_prevention,
+            tier1_asns,
+            tier1_idx,
+            salts,
+            tier1_filtering: cfg.tier1_poison_filtering,
+            seed: cfg.seed,
+        }
+    }
+
+    /// True if `i` deviates from Gao-Rexford preferences.
+    pub fn is_violator(&self, i: AsIndex) -> bool {
+        self.violators.contains(&i)
+    }
+
+    /// True if `i` ignores its own ASN in received AS-paths.
+    pub fn ignores_loop_prevention(&self, i: AsIndex) -> bool {
+        self.no_loop_prevention.contains(&i)
+    }
+
+    /// True if `i` is a tier-1 AS.
+    pub fn is_tier1(&self, i: AsIndex) -> bool {
+        self.tier1_idx.contains(&i)
+    }
+
+    /// Number of policy violators.
+    pub fn num_violators(&self) -> usize {
+        self.violators.len()
+    }
+
+    /// LocalPref that AS `at` assigns to a route learned from a neighbor of
+    /// the given kind. Violators hash `(at, neighbor)` into the full
+    /// LocalPref range, modeling arbitrary-but-stable policy.
+    pub fn local_pref(&self, at: AsIndex, neighbor: Option<AsIndex>, kind: NeighborKind) -> u32 {
+        if self.violators.contains(&at) {
+            let nid = neighbor.map(|n| n.0 as u64 + 1).unwrap_or(0);
+            let h = mix64(self.seed ^ ((at.0 as u64) << 32) ^ nid);
+            // Spread violator preferences across the Gao-Rexford band so
+            // they sometimes agree and sometimes invert the textbook order.
+            100 + (h % 201) as u32 // 100..=300
+        } else {
+            match kind {
+                NeighborKind::Customer => LOCAL_PREF_CUSTOMER,
+                NeighborKind::Peer => LOCAL_PREF_PEER,
+                NeighborKind::Provider => LOCAL_PREF_PROVIDER,
+            }
+        }
+    }
+
+    /// Valley-free export rule: may AS `from` export its best route
+    /// (learned from a `learned_from`-kind neighbor) to a neighbor that is
+    /// `to_kind` from `from`'s perspective?
+    ///
+    /// Customer-learned (and origin-injected) routes go to everyone;
+    /// peer/provider-learned routes go to customers only.
+    pub fn may_export(&self, learned_from: NeighborKind, to_kind: NeighborKind) -> bool {
+        learned_from == NeighborKind::Customer || to_kind == NeighborKind::Customer
+    }
+
+    /// Import-time acceptance check at AS `at` for a path offered by
+    /// `from` (`None` = directly from the origin). Returns `false` when the
+    /// route must be dropped.
+    pub fn accepts(
+        &self,
+        topo: &Topology,
+        at: AsIndex,
+        from: Option<AsIndex>,
+        path: &AsPath,
+    ) -> bool {
+        let own = topo.asn_of(at);
+        // BGP loop prevention — the mechanism poisoning exploits.
+        if path.contains(own) && !self.ignores_loop_prevention(at) {
+            return false;
+        }
+        // Tier-1 route-leak filter: drop customer-learned routes whose path
+        // contains another tier-1.
+        if self.tier1_filtering && self.is_tier1(at) {
+            let from_customer = match from {
+                Some(f) => topo.relationship(at, f) == Some(NeighborKind::Customer),
+                None => true, // origin is a (virtual) customer of its provider
+            };
+            if from_customer
+                && path
+                    .as_slice()
+                    .iter()
+                    .any(|a| *a != own && self.tier1_asns.contains(a))
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Deterministic final tiebreak value for a candidate route at AS `at`:
+    /// lower wins. Salting per AS stands in for IGP distances and router
+    /// ids, so different ASes break identical ties differently (this is
+    /// what AS-path prepending manipulates around).
+    pub fn tiebreak(&self, at: AsIndex, route: &Route) -> u64 {
+        let nid = route.from_neighbor.map(|n| n.0 as u64 + 1).unwrap_or(0);
+        // Include the ingress link so equal-length paths from the same
+        // neighbor but different origin links order deterministically.
+        mix64(self.salts[at.us()] ^ (nid << 8) ^ route.ingress.0 as u64)
+    }
+}
+
+/// Convenience: classify whether a decision followed the best-relationship
+/// criterion and the shortest-path criterion (used by the Fig 9 analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComplianceFlags {
+    /// Chosen route has the best relationship rank among candidates.
+    pub best_relationship: bool,
+    /// Chosen route additionally has the shortest path among candidates
+    /// tied at the best relationship rank.
+    pub shortest_path: bool,
+}
+
+/// Evaluate compliance of a chosen route against the candidate set, using
+/// relationship ranks (customer > peer > provider) and path lengths.
+pub fn compliance_of(chosen: &Route, candidates: &[&Route]) -> ComplianceFlags {
+    let best_rank = candidates
+        .iter()
+        .map(|r| r.learned_from.preference_rank())
+        .max()
+        .unwrap_or(0);
+    let chosen_rank = chosen.learned_from.preference_rank();
+    let best_relationship = chosen_rank == best_rank;
+    let shortest = candidates
+        .iter()
+        .filter(|r| r.learned_from.preference_rank() == best_rank)
+        .map(|r| r.path_len())
+        .min()
+        .unwrap_or(usize::MAX);
+    ComplianceFlags {
+        best_relationship,
+        shortest_path: best_relationship && chosen.path_len() == shortest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::LinkId;
+    use trackdown_topology::gen::{generate, TopologyConfig};
+
+    fn table(violators: f64) -> (trackdown_topology::Topology, PolicyTable) {
+        let g = generate(&TopologyConfig::small(5));
+        let cones = ConeInfo::compute(&g.topology);
+        let t = PolicyTable::build(
+            &g.topology,
+            &cones,
+            &PolicyConfig {
+                seed: 99,
+                violator_fraction: violators,
+                no_loop_prevention_fraction: 0.0,
+                tier1_poison_filtering: true,
+            },
+        );
+        (g.topology, t)
+    }
+
+    #[test]
+    fn gao_rexford_prefs() {
+        let (_, t) = table(0.0);
+        let i = AsIndex(0);
+        assert_eq!(t.local_pref(i, None, NeighborKind::Customer), 300);
+        assert_eq!(t.local_pref(i, None, NeighborKind::Peer), 200);
+        assert_eq!(t.local_pref(i, None, NeighborKind::Provider), 100);
+    }
+
+    #[test]
+    fn violator_prefs_stable_and_in_band() {
+        let (_, t) = table(1.0);
+        let i = AsIndex(3);
+        assert!(t.is_violator(i));
+        let p1 = t.local_pref(i, Some(AsIndex(7)), NeighborKind::Provider);
+        let p2 = t.local_pref(i, Some(AsIndex(7)), NeighborKind::Customer);
+        // Violator preference depends on the neighbor, not the relationship.
+        assert_eq!(p1, p2);
+        assert!((100..=300).contains(&p1));
+        // Stable across calls.
+        assert_eq!(p1, t.local_pref(i, Some(AsIndex(7)), NeighborKind::Provider));
+    }
+
+    #[test]
+    fn export_rules_are_valley_free() {
+        let (_, t) = table(0.0);
+        use NeighborKind::*;
+        assert!(t.may_export(Customer, Customer));
+        assert!(t.may_export(Customer, Peer));
+        assert!(t.may_export(Customer, Provider));
+        assert!(t.may_export(Peer, Customer));
+        assert!(!t.may_export(Peer, Peer));
+        assert!(!t.may_export(Peer, Provider));
+        assert!(t.may_export(Provider, Customer));
+        assert!(!t.may_export(Provider, Peer));
+        assert!(!t.may_export(Provider, Provider));
+    }
+
+    #[test]
+    fn loop_prevention_drops_own_asn() {
+        let (topo, t) = table(0.0);
+        let i = AsIndex(2);
+        let own = topo.asn_of(i);
+        let poisoned = AsPath::poisoned_origin(Asn(999_999), &[own]);
+        assert!(!t.accepts(&topo, i, None, &poisoned));
+        let clean = AsPath::from_origin(Asn(999_999));
+        assert!(t.accepts(&topo, i, None, &clean));
+    }
+
+    #[test]
+    fn no_loop_prevention_accepts_own_asn() {
+        let g = generate(&TopologyConfig::small(5));
+        let cones = ConeInfo::compute(&g.topology);
+        let t = PolicyTable::build(
+            &g.topology,
+            &cones,
+            &PolicyConfig {
+                seed: 1,
+                violator_fraction: 0.0,
+                no_loop_prevention_fraction: 1.0,
+                tier1_poison_filtering: false,
+            },
+        );
+        let i = AsIndex(2);
+        let own = g.topology.asn_of(i);
+        let poisoned = AsPath::poisoned_origin(Asn(999_999), &[own]);
+        assert!(t.accepts(&g.topology, i, None, &poisoned));
+    }
+
+    #[test]
+    fn tier1_filters_customer_routes_with_other_tier1s() {
+        let (topo, t) = table(0.0);
+        let t1: Vec<AsIndex> = topo
+            .indices()
+            .filter(|&i| t.is_tier1(i))
+            .collect();
+        assert!(t1.len() >= 2);
+        let a = t1[0];
+        let other_t1_asn = topo.asn_of(t1[1]);
+        // Path containing another tier-1, arriving from the origin
+        // (treated as customer-learned): must be filtered.
+        let path = AsPath::poisoned_origin(Asn(999_999), &[other_t1_asn]);
+        assert!(!t.accepts(&topo, a, None, &path));
+        // A non-tier1 AS is not subject to the filter (if not poisoned itself).
+        let stub = topo
+            .indices()
+            .find(|&i| !t.is_tier1(i) && topo.asn_of(i) != other_t1_asn)
+            .unwrap();
+        assert!(t.accepts(&topo, stub, None, &path));
+    }
+
+    #[test]
+    fn tiebreak_is_deterministic_and_as_dependent() {
+        let (_, t) = table(0.0);
+        let r = Route {
+            path: AsPath::from_origin(Asn(1)),
+            ingress: LinkId(0),
+            from_neighbor: Some(AsIndex(4)),
+            local_pref: 300,
+            learned_from: NeighborKind::Customer,
+            communities: crate::community::CommunitySet::empty(),
+        };
+        assert_eq!(t.tiebreak(AsIndex(0), &r), t.tiebreak(AsIndex(0), &r));
+        // Salts should make at least some pair of ASes disagree.
+        assert_ne!(t.tiebreak(AsIndex(0), &r), t.tiebreak(AsIndex(1), &r));
+    }
+
+    #[test]
+    fn compliance_classification() {
+        let mk = |kind, len: usize| Route {
+            path: AsPath::from_origin(Asn(1)).prepended_by_times(Asn(2), len.saturating_sub(1)),
+            ingress: LinkId(0),
+            from_neighbor: Some(AsIndex(1)),
+            local_pref: 0,
+            learned_from: kind,
+            communities: crate::community::CommunitySet::empty(),
+        };
+        let cust_short = mk(NeighborKind::Customer, 2);
+        let cust_long = mk(NeighborKind::Customer, 5);
+        let peer = mk(NeighborKind::Peer, 1);
+        let cands = [&cust_short, &cust_long, &peer];
+        let f = compliance_of(&cust_short, &cands);
+        assert!(f.best_relationship && f.shortest_path);
+        let f = compliance_of(&cust_long, &cands);
+        assert!(f.best_relationship && !f.shortest_path);
+        let f = compliance_of(&peer, &cands);
+        assert!(!f.best_relationship && !f.shortest_path);
+    }
+}

@@ -1,0 +1,186 @@
+//! Routes, prefixes, and peering-link identifiers.
+
+use crate::community::CommunitySet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trackdown_topology::{AsIndex, AsPath, NeighborKind};
+
+/// An IPv4 prefix in CIDR form, used both as the announced experiment
+/// prefix and by the traffic substrate for address-level plumbing.
+///
+/// ```
+/// use trackdown_bgp::Prefix;
+/// let p = Prefix::new([184, 164, 224, 0], 24);
+/// assert!(p.contains(p.addr(7)));
+/// assert_eq!(p.to_string(), "184.164.224.0/24");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    /// Network address as a big-endian u32.
+    pub network: u32,
+    /// Prefix length in bits (0–32).
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Construct from dotted-quad octets and a prefix length.
+    ///
+    /// # Panics
+    /// Panics if `len > 32` or host bits are set in `octets`.
+    pub fn new(octets: [u8; 4], len: u8) -> Prefix {
+        assert!(len <= 32, "prefix length {len} > 32");
+        let network = u32::from_be_bytes(octets);
+        let p = Prefix { network, len };
+        assert_eq!(
+            network & p.mask(),
+            network,
+            "host bits set in {octets:?}/{len}"
+        );
+        p
+    }
+
+    /// The netmask as a u32 (all-ones for /32, zero for /0).
+    pub fn mask(&self) -> u32 {
+        if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        }
+    }
+
+    /// True if `ip` (big-endian u32) falls inside this prefix.
+    pub fn contains(&self, ip: u32) -> bool {
+        ip & self.mask() == self.network
+    }
+
+    /// The `offset`-th address inside the prefix (wraps within the block).
+    pub fn addr(&self, offset: u32) -> u32 {
+        let host_bits = 32 - self.len as u32;
+        let span = if host_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << host_bits) - 1
+        };
+        self.network | (offset & span)
+    }
+
+    /// Number of addresses in the prefix (saturating at `u32::MAX` for /0).
+    pub fn size(&self) -> u32 {
+        let host_bits = 32 - self.len as u32;
+        if host_bits >= 32 {
+            u32::MAX
+        } else {
+            1u32 << host_bits
+        }
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.network.to_be_bytes();
+        write!(f, "{}.{}.{}.{}/{}", o[0], o[1], o[2], o[3], self.len)
+    }
+}
+
+/// Identifier of one of the origin AS's peering links (a PoP–provider
+/// pair). Catchments are keyed by `LinkId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct LinkId(pub u8);
+
+impl LinkId {
+    /// The link id as a usize for vector addressing.
+    #[inline]
+    pub fn us(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// A route installed in some AS's RIB for the experiment prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// AS-path exactly as received (origin-last; includes any prepending
+    /// and poison sandwiches, but not the local AS).
+    pub path: AsPath,
+    /// Which origin peering link this route entered the Internet through.
+    /// This tag rides along with the announcement; the set of ASes whose
+    /// best route carries tag `l` is link `l`'s control-plane catchment.
+    pub ingress: LinkId,
+    /// The neighbor this route was learned from, or `None` when learned
+    /// directly from the origin (i.e. this AS is the PoP's provider).
+    pub from_neighbor: Option<AsIndex>,
+    /// LocalPref assigned at import time.
+    pub local_pref: u32,
+    /// Relationship of the announcing neighbor from this AS's perspective
+    /// (drives export policy). Direct origin routes count as
+    /// customer-learned: the origin buys transit from the PoP provider.
+    pub learned_from: NeighborKind,
+    /// Action communities attached by the origin. Only set on direct
+    /// routes (`from_neighbor == None`); the PoP provider honors them on
+    /// export and strips them (first-hop semantics).
+    pub communities: CommunitySet,
+}
+
+impl Route {
+    /// AS-path length used by BGP's tiebreak (hop count as received).
+    pub fn path_len(&self) -> usize {
+        self.path.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trackdown_topology::Asn;
+
+    #[test]
+    fn prefix_contains_and_addr() {
+        let p = Prefix::new([10, 0, 0, 0], 8);
+        assert!(p.contains(u32::from_be_bytes([10, 255, 1, 2])));
+        assert!(!p.contains(u32::from_be_bytes([11, 0, 0, 0])));
+        assert_eq!(p.size(), 1 << 24);
+        let a = p.addr(300);
+        assert!(p.contains(a));
+    }
+
+    #[test]
+    fn prefix_extreme_lengths() {
+        let host = Prefix::new([192, 0, 2, 1], 32);
+        assert_eq!(host.size(), 1);
+        assert!(host.contains(u32::from_be_bytes([192, 0, 2, 1])));
+        assert!(!host.contains(u32::from_be_bytes([192, 0, 2, 2])));
+        let all = Prefix::new([0, 0, 0, 0], 0);
+        assert!(all.contains(u32::MAX));
+        assert_eq!(all.mask(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "host bits")]
+    fn prefix_rejects_host_bits() {
+        let _ = Prefix::new([10, 0, 0, 1], 8);
+    }
+
+    #[test]
+    fn prefix_display() {
+        assert_eq!(Prefix::new([184, 164, 224, 0], 24).to_string(), "184.164.224.0/24");
+    }
+
+    #[test]
+    fn route_path_len_counts_prepends() {
+        let r = Route {
+            path: AsPath::from_origin(Asn(1)).prepended_by_times(Asn(1), 4),
+            ingress: LinkId(0),
+            from_neighbor: None,
+            local_pref: 300,
+            learned_from: NeighborKind::Customer,
+            communities: CommunitySet::empty(),
+        };
+        assert_eq!(r.path_len(), 5);
+    }
+}

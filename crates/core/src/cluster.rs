@@ -1,0 +1,350 @@
+//! Catchment-intersection clustering (§III-B).
+//!
+//! A *cluster* is a set of sources that landed in the same catchment in
+//! every announcement configuration deployed so far: from the origin's
+//! vantage, its members are mutually indistinguishable. The paper's
+//! algorithm starts with one all-encompassing cluster and, for each
+//! catchment `α` of each configuration, splits every overlapping cluster
+//! `κ` into `κ∩α` and `κ∖α`.
+//!
+//! The incremental implementation here is equivalent but O(n) per
+//! configuration: two sources stay in the same cluster iff their whole
+//! catchment-assignment histories are identical, so each refinement maps
+//! `(old cluster, new catchment)` pairs to new cluster ids. A direct
+//! transcription of the paper's split loop is kept (`split_by_naive`) and
+//! property-tested against the fast path.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use trackdown_bgp::{Catchments, LinkId};
+use trackdown_topology::analysis::{ccdf, summary_stats, SummaryStats};
+use trackdown_topology::AsIndex;
+
+/// A partition of the tracked sources into indistinguishability clusters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// The tracked sources, fixed at construction.
+    sources: Vec<AsIndex>,
+    /// `assignment[k]` = cluster id of `sources[k]`.
+    assignment: Vec<u32>,
+    /// Number of clusters (ids are `0..num_clusters`).
+    num_clusters: u32,
+}
+
+impl Clustering {
+    /// The initial state: every tracked source in one big cluster.
+    pub fn single(sources: Vec<AsIndex>) -> Clustering {
+        let n = sources.len();
+        Clustering {
+            sources,
+            assignment: vec![0; n],
+            num_clusters: if n == 0 { 0 } else { 1 },
+        }
+    }
+
+    /// The tracked sources.
+    pub fn sources(&self) -> &[AsIndex] {
+        &self.sources
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters as usize
+    }
+
+    /// Cluster id of a tracked source (`None` if the source is not
+    /// tracked).
+    pub fn cluster_of(&self, source: AsIndex) -> Option<u32> {
+        self.sources
+            .iter()
+            .position(|&s| s == source)
+            .map(|k| self.assignment[k])
+    }
+
+    /// Refine the partition with one configuration's catchments: sources
+    /// remain together only if they share both their previous cluster and
+    /// their catchment here (unassigned sources count as a shared
+    /// "unobserved" pseudo-catchment, exactly like the `κ∖α` side of
+    /// the paper's split).
+    pub fn refine(&mut self, catchments: &Catchments) {
+        let mut remap: HashMap<(u32, Option<LinkId>), u32> = HashMap::new();
+        let mut next = 0u32;
+        for (k, &s) in self.sources.iter().enumerate() {
+            let key = (self.assignment[k], catchments.get(s));
+            let id = *remap.entry(key).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            self.assignment[k] = id;
+        }
+        self.num_clusters = next;
+    }
+
+    /// The paper's split loop, transcribed literally: for each catchment
+    /// `α`, split every overlapping cluster `κ` into `κ∩α` and `κ∖α`.
+    /// Quadratic; used to cross-check [`Clustering::refine`].
+    pub fn split_by_naive(&mut self, catchments: &Catchments) {
+        for link in catchments.active_links() {
+            // α restricted to tracked sources.
+            let alpha: Vec<bool> = self
+                .sources
+                .iter()
+                .map(|&s| catchments.get(s) == Some(link))
+                .collect();
+            let ids: Vec<u32> = {
+                let mut v = self.assignment.clone();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            for kappa in ids {
+                let members: Vec<usize> = (0..self.sources.len())
+                    .filter(|&k| self.assignment[k] == kappa)
+                    .collect();
+                let inside: Vec<usize> =
+                    members.iter().copied().filter(|&k| alpha[k]).collect();
+                if inside.is_empty() || inside.len() == members.len() {
+                    continue; // κ∩α = ∅ or κ∩α = κ: no split
+                }
+                // Move κ∩α into a fresh cluster id.
+                let fresh = self.num_clusters;
+                self.num_clusters += 1;
+                for k in inside {
+                    self.assignment[k] = fresh;
+                }
+            }
+        }
+        self.normalize();
+    }
+
+    /// Renumber cluster ids densely in first-appearance order (so two
+    /// equal partitions compare equal regardless of construction path).
+    pub fn normalize(&mut self) {
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut next = 0u32;
+        for a in &mut self.assignment {
+            let id = *remap.entry(*a).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            *a = id;
+        }
+        self.num_clusters = next;
+    }
+
+    /// Materialize the clusters as member lists, ordered by cluster id.
+    pub fn clusters(&self) -> Vec<Vec<AsIndex>> {
+        let mut out = vec![Vec::new(); self.num_clusters as usize];
+        for (k, &s) in self.sources.iter().enumerate() {
+            out[self.assignment[k] as usize].push(s);
+        }
+        out
+    }
+
+    /// Cluster sizes (unordered histogram input).
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_clusters as usize];
+        for &a in &self.assignment {
+            counts[a as usize] += 1;
+        }
+        counts
+    }
+
+    /// Mean cluster size (the paper's headline metric: 1.40 ASes).
+    pub fn mean_size(&self) -> f64 {
+        if self.num_clusters == 0 {
+            return 0.0;
+        }
+        self.sources.len() as f64 / self.num_clusters as f64
+    }
+
+    /// Summary statistics over cluster sizes.
+    pub fn stats(&self) -> SummaryStats {
+        summary_stats(&self.sizes())
+    }
+
+    /// CCDF of cluster sizes (Figure 3 / 6 series).
+    pub fn size_ccdf(&self) -> Vec<(usize, f64)> {
+        ccdf(&self.sizes())
+    }
+
+    /// Fraction of clusters that contain exactly one AS (92 % after the
+    /// paper's 705 configurations).
+    pub fn singleton_fraction(&self) -> f64 {
+        let sizes = self.sizes();
+        if sizes.is_empty() {
+            return 0.0;
+        }
+        sizes.iter().filter(|&&s| s == 1).count() as f64 / sizes.len() as f64
+    }
+
+    /// Size of the cluster containing `source`.
+    pub fn cluster_size_of(&self, source: AsIndex) -> Option<usize> {
+        let id = self.cluster_of(source)?;
+        Some(self.assignment.iter().filter(|&&a| a == id).count())
+    }
+}
+
+/// Build a clustering by refining over a sequence of catchments.
+pub fn cluster_catchments(sources: Vec<AsIndex>, catchments: &[Catchments]) -> Clustering {
+    let mut c = Clustering::single(sources);
+    for cat in catchments {
+        c.refine(cat);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat(n: usize, links: &[Option<u8>]) -> Catchments {
+        let mut c = Catchments::unassigned(n);
+        for (i, l) in links.iter().enumerate() {
+            c.set(AsIndex(i as u32), l.map(LinkId));
+        }
+        c
+    }
+
+    fn sources(n: usize) -> Vec<AsIndex> {
+        (0..n as u32).map(AsIndex).collect()
+    }
+
+    #[test]
+    fn initial_state_is_one_cluster() {
+        let c = Clustering::single(sources(5));
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.mean_size(), 5.0);
+        assert_eq!(c.sizes(), vec![5]);
+        assert_eq!(c.singleton_fraction(), 0.0);
+        let empty = Clustering::single(vec![]);
+        assert_eq!(empty.num_clusters(), 0);
+        assert_eq!(empty.mean_size(), 0.0);
+    }
+
+    #[test]
+    fn refine_splits_by_catchment() {
+        let mut c = Clustering::single(sources(4));
+        c.refine(&cat(4, &[Some(0), Some(0), Some(1), Some(1)]));
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.cluster_of(AsIndex(0)), c.cluster_of(AsIndex(1)));
+        assert_ne!(c.cluster_of(AsIndex(0)), c.cluster_of(AsIndex(2)));
+        // Second config splits the second pair.
+        c.refine(&cat(4, &[Some(0), Some(0), Some(0), Some(1)]));
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.cluster_of(AsIndex(0)), c.cluster_of(AsIndex(1)));
+    }
+
+    #[test]
+    fn unobserved_sources_group_together() {
+        let mut c = Clustering::single(sources(4));
+        c.refine(&cat(4, &[Some(0), None, None, Some(1)]));
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.cluster_of(AsIndex(1)), c.cluster_of(AsIndex(2)));
+    }
+
+    #[test]
+    fn identical_catchments_do_not_split() {
+        let mut c = Clustering::single(sources(3));
+        let same = cat(3, &[Some(0), Some(0), Some(0)]);
+        c.refine(&same);
+        c.refine(&same);
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn figure1_example() {
+        // Paper Figure 1: three configurations partition sources into the
+        // clusters at the bottom right. Model 6 sources with assignment
+        // histories mirroring the colored regions.
+        let n = 6;
+        let configs = [
+            cat(n, &[Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)]),
+            cat(n, &[Some(0), Some(0), Some(0), Some(2), Some(2), Some(2)]),
+            cat(n, &[Some(0), Some(1), Some(1), Some(2), Some(2), Some(0)]),
+        ];
+        let c = cluster_catchments(sources(n), &configs);
+        // Histories: s0=(0,0,0) s1=(0,0,1) s2=(1,0,1) s3=(1,2,2)
+        //            s4=(2,2,2) s5=(2,2,0) — all distinct: 6 singletons.
+        assert_eq!(c.num_clusters(), 6);
+        assert_eq!(c.singleton_fraction(), 1.0);
+    }
+
+    #[test]
+    fn refine_matches_naive_split() {
+        // Cross-check on a handful of deterministic patterns.
+        let patterns: Vec<Vec<Option<u8>>> = vec![
+            vec![Some(0), Some(1), Some(0), Some(1), None, Some(2)],
+            vec![Some(1), Some(1), Some(1), Some(0), Some(0), None],
+            vec![None, None, Some(2), Some(2), Some(2), Some(2)],
+        ];
+        let n = 6;
+        let mut fast = Clustering::single(sources(n));
+        let mut naive = Clustering::single(sources(n));
+        for p in &patterns {
+            let c = cat(n, p);
+            fast.refine(&c);
+            naive.split_by_naive(&c);
+            // Compare partitions via co-membership.
+            for i in 0..n {
+                for j in 0..n {
+                    let a = AsIndex(i as u32);
+                    let b = AsIndex(j as u32);
+                    assert_eq!(
+                        fast.cluster_of(a) == fast.cluster_of(b),
+                        naive.cluster_of(a) == naive.cluster_of(b),
+                        "sources {i},{j} disagree"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_and_ccdf() {
+        let mut c = Clustering::single(sources(6));
+        c.refine(&cat(6, &[Some(0), Some(0), Some(0), Some(1), Some(1), Some(2)]));
+        assert_eq!(c.num_clusters(), 3);
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        assert!((c.mean_size() - 2.0).abs() < 1e-9);
+        assert!((c.singleton_fraction() - 1.0 / 3.0).abs() < 1e-9);
+        let ccdf = c.size_ccdf();
+        assert_eq!(ccdf[0], (1, 1.0));
+        assert_eq!(c.cluster_size_of(AsIndex(0)), Some(3));
+        assert_eq!(c.cluster_size_of(AsIndex(5)), Some(1));
+        assert_eq!(c.cluster_size_of(AsIndex(99)), None);
+    }
+
+    #[test]
+    fn cluster_count_is_monotone_under_refinement() {
+        let mut c = Clustering::single(sources(8));
+        let mut prev = c.num_clusters();
+        let configs = [
+            cat(8, &[Some(0), Some(0), Some(1), Some(1), Some(0), Some(1), Some(0), Some(1)]),
+            cat(8, &[Some(0), Some(1), Some(0), Some(1), Some(0), Some(1), Some(0), Some(1)]),
+            cat(8, &[Some(2), Some(2), Some(2), Some(2), Some(2), Some(2), Some(2), Some(2)]),
+        ];
+        for cfg in &configs {
+            c.refine(cfg);
+            assert!(c.num_clusters() >= prev);
+            prev = c.num_clusters();
+        }
+    }
+
+    #[test]
+    fn clusters_materialization_partitions_sources() {
+        let mut c = Clustering::single(sources(5));
+        c.refine(&cat(5, &[Some(0), Some(1), Some(0), None, Some(1)]));
+        let clusters = c.clusters();
+        let total: usize = clusters.iter().map(|cl| cl.len()).sum();
+        assert_eq!(total, 5);
+        assert_eq!(clusters.len(), c.num_clusters());
+        for cl in &clusters {
+            assert!(!cl.is_empty());
+        }
+    }
+}

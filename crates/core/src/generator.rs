@@ -1,0 +1,373 @@
+//! Systematic generation of announcement configurations (§III-A, §IV-a).
+//!
+//! Three techniques, deployed in phases:
+//!
+//! 1. **Locations** — announce from every subset of the peering links of
+//!    size `|L|, |L|−1, …, |L|−r` in decreasing size order. Removing up to
+//!    `r` links guarantees at least `r+1` distinct routes per source.
+//! 2. **Prepending** — for each location configuration, one extra
+//!    configuration per active link, prepending there.
+//! 3. **Poisoning** — announce from all links, poisoning one neighbor of a
+//!    directly-connected transit provider on the announcement through that
+//!    provider (the Figure 2 strategy: sever the `provider–neighbor` link
+//!    for routes toward the prefix).
+//!
+//! With 7 links and `r = 3` this reproduces the paper's counts:
+//! 64 location + 294 prepending configurations, plus one per provider
+//! neighbor (347 on PEERING).
+
+use crate::config::{AnnouncementConfig, Phase};
+use serde::{Deserialize, Serialize};
+use trackdown_bgp::{Community, CommunitySet, LinkId, OriginAs};
+use trackdown_topology::{Asn, Topology};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratorParams {
+    /// Maximum number of links removed in the location phase (`r − 1` in
+    /// the route-count guarantee; the paper uses 3, discovering ≥ 4
+    /// routes).
+    pub max_removals: usize,
+    /// Cap on poisoning configurations (`None` = one per provider
+    /// neighbor, like the paper's 347).
+    pub max_poison_configs: Option<usize>,
+}
+
+impl Default for GeneratorParams {
+    fn default() -> GeneratorParams {
+        GeneratorParams {
+            max_removals: 3,
+            max_poison_configs: None,
+        }
+    }
+}
+
+/// All k-element subsets of `0..n` in lexicographic order.
+fn subsets_of_size(n: usize, k: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut current: Vec<u8> = (0..k as u8).collect();
+    if k > n {
+        return out;
+    }
+    if k == 0 {
+        out.push(Vec::new());
+        return out;
+    }
+    loop {
+        out.push(current.clone());
+        // Advance to next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if current[i] < (n - k + i) as u8 {
+                current[i] += 1;
+                for j in i + 1..k {
+                    current[j] = current[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Phase 1: location configurations, decreasing subset size, starting with
+/// the full anycast baseline.
+pub fn location_phase(num_links: usize, max_removals: usize) -> Vec<AnnouncementConfig> {
+    let mut out = Vec::new();
+    let max_removals = max_removals.min(num_links.saturating_sub(1));
+    for removed in 0..=max_removals {
+        let size = num_links - removed;
+        for subset in subsets_of_size(num_links, size) {
+            out.push(AnnouncementConfig::anycast(
+                subset.into_iter().map(LinkId),
+            ));
+        }
+    }
+    out
+}
+
+/// Phase 2: for each location configuration, prepend at each active link
+/// in turn (§IV-a: "for each such configuration c, we generate an
+/// additional |A_c| configurations, prepending from each active location
+/// in turn").
+pub fn prepend_phase(location_configs: &[AnnouncementConfig]) -> Vec<AnnouncementConfig> {
+    let mut out = Vec::new();
+    for cfg in location_configs {
+        for &link in &cfg.announce {
+            out.push(cfg.clone().with_prepend(link));
+        }
+    }
+    out
+}
+
+/// A poisoning target: a neighbor `target` of PoP provider `provider`,
+/// to be poisoned on the announcement through `via`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoisonTarget {
+    /// The origin's peering link whose announcement carries the poison.
+    pub via: LinkId,
+    /// The provider on that link.
+    pub provider: Asn,
+    /// The neighbor of the provider being poisoned.
+    pub target: Asn,
+}
+
+/// Identify poisoning targets: all neighbors of the origin's transit
+/// providers (the paper found 347 such neighbors), excluding the origin's
+/// own providers — poisoning a PoP provider on its own link just drops the
+/// announcement, and poisoning another PoP's provider would sever a link
+/// the experiment controls directly anyway.
+pub fn poison_targets(topo: &Topology, origin: &OriginAs) -> Vec<PoisonTarget> {
+    let provider_asns: Vec<Asn> = origin.links.iter().map(|l| l.provider).collect();
+    let mut seen_targets: Vec<Asn> = Vec::new();
+    let mut out = Vec::new();
+    for link in &origin.links {
+        let Some(p) = topo.index_of(link.provider) else {
+            continue;
+        };
+        for &(n, _) in topo.neighbors(p) {
+            let asn = topo.asn_of(n);
+            if asn == origin.asn || provider_asns.contains(&asn) {
+                continue;
+            }
+            // One configuration per neighbor, matching the paper's count;
+            // the first provider adjacency wins.
+            if seen_targets.contains(&asn) {
+                continue;
+            }
+            seen_targets.push(asn);
+            out.push(PoisonTarget {
+                via: link.id,
+                provider: link.provider,
+                target: asn,
+            });
+        }
+    }
+    out
+}
+
+/// Phase 3: one configuration per poisoning target — announce from all
+/// links, poisoning the target on the announcement through its provider.
+pub fn poison_phase(
+    topo: &Topology,
+    origin: &OriginAs,
+    max_configs: Option<usize>,
+) -> Vec<AnnouncementConfig> {
+    let mut targets = poison_targets(topo, origin);
+    if let Some(cap) = max_configs {
+        targets.truncate(cap);
+    }
+    targets
+        .into_iter()
+        .map(|t| {
+            AnnouncementConfig::anycast(origin.link_ids()).with_poison(t.via, vec![t.target])
+        })
+        .collect()
+}
+
+/// The full schedule: locations, then prepending, then poisoning, in
+/// deployment order (baseline anycast first).
+pub fn full_schedule(
+    topo: &Topology,
+    origin: &OriginAs,
+    params: &GeneratorParams,
+) -> Vec<AnnouncementConfig> {
+    let loc = location_phase(origin.num_links(), params.max_removals);
+    let pre = prepend_phase(&loc);
+    let poi = poison_phase(topo, origin, params.max_poison_configs);
+    let mut out = loc;
+    out.extend(pre);
+    out.extend(poi);
+    out
+}
+
+/// Extension phase: export-scoping configurations using BGP action
+/// communities (§VIII future work). For each link, one configuration
+/// scoping that link's announcement away from the provider's peers, one
+/// keeping it inside the provider's customer cone, and one applying
+/// provider-side prepending — each a distinct way to shrink the link's
+/// catchment *without* touching the other links.
+pub fn community_phase(origin: &OriginAs) -> Vec<AnnouncementConfig> {
+    let mut out = Vec::new();
+    for link in origin.link_ids() {
+        for communities in [
+            CommunitySet::from_vec(vec![Community::NoExportToPeers]),
+            CommunitySet::from_vec(vec![Community::NoExportToProviders]),
+            CommunitySet::from_vec(vec![
+                Community::NoExportToPeers,
+                Community::NoExportToProviders,
+            ]),
+            CommunitySet::from_vec(vec![Community::PrependAtProvider(4)]),
+        ] {
+            out.push(
+                AnnouncementConfig::anycast(origin.link_ids())
+                    .with_communities(link, communities),
+            );
+        }
+    }
+    out
+}
+
+/// Indices in a schedule where each phase ends (exclusive): feeds the
+/// vertical phase markers of Figure 4.
+pub fn phase_boundaries(schedule: &[AnnouncementConfig]) -> Vec<(Phase, usize)> {
+    let mut out = Vec::new();
+    for phase in [
+        Phase::Location,
+        Phase::Prepend,
+        Phase::Poison,
+        Phase::Community,
+    ] {
+        let end = schedule
+            .iter()
+            .rposition(|c| c.phase == phase)
+            .map(|i| i + 1);
+        if let Some(end) = end {
+            out.push((phase, end));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trackdown_topology::gen::{generate, TopologyConfig};
+
+    /// Binomial coefficient.
+    fn choose(n: usize, k: usize) -> usize {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1usize;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn subsets_counts_and_order() {
+        let s = subsets_of_size(4, 2);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[0], vec![0, 1]);
+        assert_eq!(s[5], vec![2, 3]);
+        assert_eq!(subsets_of_size(3, 3), vec![vec![0, 1, 2]]);
+        assert_eq!(subsets_of_size(3, 0), vec![Vec::<u8>::new()]);
+        assert!(subsets_of_size(2, 3).is_empty());
+    }
+
+    #[test]
+    fn location_phase_matches_paper_count() {
+        // Σ_{x=0..3} C(7, 7−x) = 1 + 7 + 21 + 35 = 64.
+        let cfgs = location_phase(7, 3);
+        assert_eq!(cfgs.len(), 64);
+        // Baseline first: all 7 links.
+        assert_eq!(cfgs[0].announce.len(), 7);
+        // Decreasing size order.
+        for w in cfgs.windows(2) {
+            assert!(w[0].announce.len() >= w[1].announce.len());
+        }
+        // No duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for c in &cfgs {
+            assert!(seen.insert(c.announce.clone()));
+        }
+    }
+
+    #[test]
+    fn prepend_phase_matches_paper_count() {
+        // Σ_{x=0..3} (7−x)·C(7, 7−x) = 7 + 42 + 105 + 140 = 294.
+        let loc = location_phase(7, 3);
+        let pre = prepend_phase(&loc);
+        assert_eq!(pre.len(), 294);
+        for c in &pre {
+            assert_eq!(c.prepend.len(), 1);
+            assert!(c.announce.contains(c.prepend.iter().next().unwrap()));
+            assert_eq!(c.phase, Phase::Prepend);
+        }
+    }
+
+    #[test]
+    fn generic_counts_formula() {
+        for n in 2..=6 {
+            for r in 0..n {
+                let loc = location_phase(n, r);
+                let expected: usize = (0..=r).map(|x| choose(n, n - x)).sum();
+                assert_eq!(loc.len(), expected, "n={n} r={r}");
+                let pre = prepend_phase(&loc);
+                let expected_pre: usize =
+                    (0..=r).map(|x| (n - x) * choose(n, n - x)).sum();
+                assert_eq!(pre.len(), expected_pre, "n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_removals_clamped_to_keep_announcements_nonempty() {
+        let cfgs = location_phase(3, 10);
+        assert!(cfgs.iter().all(|c| !c.announce.is_empty()));
+        // Sizes 3, 2, 1 → 1 + 3 + 3 = 7 configs.
+        assert_eq!(cfgs.len(), 7);
+    }
+
+    #[test]
+    fn poison_targets_are_provider_neighbors() {
+        let g = generate(&TopologyConfig::small(5));
+        let origin = OriginAs::peering_style(&g, 4);
+        let targets = poison_targets(&g.topology, &origin);
+        assert!(!targets.is_empty());
+        let provider_asns: Vec<Asn> = origin.links.iter().map(|l| l.provider).collect();
+        let mut seen = std::collections::HashSet::new();
+        for t in &targets {
+            // Target must neighbor its provider.
+            let p = g.topology.index_of(t.provider).unwrap();
+            let n = g.topology.index_of(t.target).unwrap();
+            assert!(g.topology.linked(p, n));
+            // Never a provider or the origin itself.
+            assert!(!provider_asns.contains(&t.target));
+            assert_ne!(t.target, origin.asn);
+            // One config per target.
+            assert!(seen.insert(t.target));
+            // Poisoned via the link of its provider.
+            assert_eq!(origin.link(t.via).unwrap().provider, t.provider);
+        }
+    }
+
+    #[test]
+    fn poison_phase_announces_everywhere() {
+        let g = generate(&TopologyConfig::small(5));
+        let origin = OriginAs::peering_style(&g, 4);
+        let cfgs = poison_phase(&g.topology, &origin, Some(10));
+        assert!(cfgs.len() <= 10);
+        for c in &cfgs {
+            assert_eq!(c.announce.len(), 4);
+            assert_eq!(c.phase, Phase::Poison);
+            let total_poisons: usize = c.poison.values().map(|v| v.len()).sum();
+            assert_eq!(total_poisons, 1);
+        }
+    }
+
+    #[test]
+    fn full_schedule_is_valid_and_ordered() {
+        let g = generate(&TopologyConfig::small(5));
+        let origin = OriginAs::peering_style(&g, 4);
+        let schedule = full_schedule(&g.topology, &origin, &GeneratorParams::default());
+        for c in &schedule {
+            c.validate(&origin).unwrap();
+        }
+        let bounds = phase_boundaries(&schedule);
+        assert_eq!(bounds.len(), 3);
+        assert_eq!(bounds[0].0, Phase::Location);
+        assert!(bounds[0].1 < bounds[1].1);
+        assert!(bounds[1].1 < bounds[2].1);
+        assert_eq!(bounds[2].1, schedule.len());
+        // Location count for n=4, r=3: C(4,4)+C(4,3)+C(4,2)+C(4,1)=15.
+        assert_eq!(bounds[0].1, 15);
+        // Prepend count: 4·1 + 3·4 + 2·6 + 1·4 = 32.
+        assert_eq!(bounds[1].1 - bounds[0].1, 32);
+    }
+}

@@ -1,0 +1,814 @@
+//! The end-to-end localization pipeline: deploy configurations, obtain
+//! catchments (true or measured), refine clusters, and correlate spoofed
+//! traffic volumes to rank suspect clusters.
+
+use crate::cluster::Clustering;
+use crate::config::AnnouncementConfig;
+use serde::{Deserialize, Serialize};
+use trackdown_bgp::{BgpEngine, Catchments, LinkId, OriginAs};
+use trackdown_measure::{analysis_set, impute_visibility, ImputationStats, MeasurementPlane};
+use trackdown_topology::AsIndex;
+
+/// How catchments are obtained for each configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CatchmentSource {
+    /// Ground-truth control-plane catchments (oracle; isolates the
+    /// algorithms from measurement noise).
+    ControlPlane,
+    /// Ground-truth data-plane catchments (what traffic actually does).
+    DataPlane,
+    /// Measured through the observation plane with §IV-d visibility
+    /// imputation.
+    Measured,
+}
+
+/// Per-configuration snapshot recorded while a campaign runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigRecord {
+    /// Mean cluster size after this configuration.
+    pub mean_cluster_size: f64,
+    /// 90th-percentile cluster size after this configuration.
+    pub p90_cluster_size: usize,
+    /// Number of clusters after this configuration.
+    pub num_clusters: usize,
+    /// Whether propagation converged.
+    pub converged: bool,
+}
+
+/// The result of deploying a configuration schedule.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The deployed configurations, in order.
+    pub configs: Vec<AnnouncementConfig>,
+    /// Catchments per configuration (over all ASes; restricted to the
+    /// tracked set during clustering).
+    pub catchments: Vec<Catchments>,
+    /// The tracked sources (everything reachable/observed at baseline).
+    pub tracked: Vec<AsIndex>,
+    /// Final clustering.
+    pub clustering: Clustering,
+    /// Per-configuration progress (Figure 4's series).
+    pub records: Vec<ConfigRecord>,
+    /// Visibility-imputation statistics (measured campaigns only).
+    pub imputation: Option<ImputationStats>,
+}
+
+/// Deploy every configuration and cluster the catchments.
+///
+/// The tracked-source rule follows §IV-d: sources covered by the *first*
+/// configuration (the full anycast baseline) are tracked; for measured
+/// campaigns, missing observations in later configurations are imputed
+/// via `smax` before clustering.
+pub fn run_campaign(
+    engine: &BgpEngine<'_>,
+    origin: &OriginAs,
+    configs: &[AnnouncementConfig],
+    source: CatchmentSource,
+    plane: Option<&MeasurementPlane>,
+    max_events_factor: usize,
+) -> Campaign {
+    assert!(!configs.is_empty(), "empty schedule");
+    let topo = engine.topology();
+    let mut catchments: Vec<Catchments> = Vec::with_capacity(configs.len());
+    let mut converged: Vec<bool> = Vec::with_capacity(configs.len());
+    let mut measured = Vec::with_capacity(configs.len());
+    for (k, cfg) in configs.iter().enumerate() {
+        cfg.validate(origin).expect("invalid configuration");
+        let outcome = engine
+            .propagate_config(origin, &cfg.to_link_announcements(), max_events_factor)
+            .expect("validated configuration");
+        converged.push(outcome.converged);
+        match source {
+            CatchmentSource::ControlPlane => {
+                catchments.push(Catchments::from_control_plane(&outcome));
+            }
+            CatchmentSource::DataPlane => {
+                catchments.push(Catchments::from_data_plane(&outcome));
+            }
+            CatchmentSource::Measured => {
+                let plane = plane.expect("Measured campaigns need a MeasurementPlane");
+                measured.push(plane.measure(topo, &outcome, origin.asn, k as u64));
+            }
+        }
+    }
+
+    let (tracked, imputation) = match source {
+        CatchmentSource::Measured => {
+            let stats = impute_visibility(&mut measured, 0);
+            let tracked = analysis_set(&measured, 0);
+            catchments = measured.into_iter().map(|m| m.catchments).collect();
+            (tracked, Some(stats))
+        }
+        _ => {
+            // Track every source the baseline reaches.
+            let tracked: Vec<AsIndex> = topo
+                .indices()
+                .filter(|&i| catchments[0].get(i).is_some())
+                .collect();
+            (tracked, None)
+        }
+    };
+
+    let mut clustering = Clustering::single(tracked.clone());
+    let mut records = Vec::with_capacity(configs.len());
+    for (k, cat) in catchments.iter().enumerate() {
+        clustering.refine(cat);
+        let stats = clustering.stats();
+        records.push(ConfigRecord {
+            mean_cluster_size: clustering.mean_size(),
+            p90_cluster_size: stats.p90,
+            num_clusters: clustering.num_clusters(),
+            converged: converged[k],
+        });
+    }
+
+    Campaign {
+        configs: configs.to_vec(),
+        catchments,
+        tracked,
+        clustering,
+        records,
+        imputation,
+    }
+}
+
+/// Parallel variant of [`run_campaign`]: configurations are independent,
+/// so their propagations run on `threads` OS threads (scoped; no
+/// dependencies beyond the shared read-only engine). Results are
+/// identical to the sequential version — order, catchments, clustering —
+/// because outputs are collected by configuration index.
+///
+/// This is also the simulation analog of the paper's §V-C speed-up of
+/// deploying multiple configurations *concurrently on multiple prefixes*:
+/// wall-clock time divides by the number of prefixes (threads) while the
+/// information gathered is unchanged.
+pub fn run_campaign_parallel(
+    engine: &BgpEngine<'_>,
+    origin: &OriginAs,
+    configs: &[AnnouncementConfig],
+    source: CatchmentSource,
+    max_events_factor: usize,
+    threads: usize,
+) -> Campaign {
+    assert!(!configs.is_empty(), "empty schedule");
+    assert!(
+        source != CatchmentSource::Measured,
+        "measured campaigns are sequential (the observation plane salts by deployment order)"
+    );
+    let topo = engine.topology();
+    let threads = threads.max(1);
+    let mut results: Vec<Option<(Catchments, bool)>> = vec![None; configs.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, chunk) in configs.chunks(configs.len().div_ceil(threads)).enumerate() {
+            let base = t * configs.len().div_ceil(threads);
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::with_capacity(chunk.len());
+                for (off, cfg) in chunk.iter().enumerate() {
+                    cfg.validate(origin).expect("invalid configuration");
+                    let outcome = engine
+                        .propagate_config(origin, &cfg.to_link_announcements(), max_events_factor)
+                        .expect("validated configuration");
+                    let cat = match source {
+                        CatchmentSource::ControlPlane => {
+                            Catchments::from_control_plane(&outcome)
+                        }
+                        CatchmentSource::DataPlane => Catchments::from_data_plane(&outcome),
+                        CatchmentSource::Measured => unreachable!("checked above"),
+                    };
+                    out.push((base + off, cat, outcome.converged));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            for (idx, cat, conv) in h.join().expect("worker panicked") {
+                results[idx] = Some((cat, conv));
+            }
+        }
+    });
+    let mut catchments = Vec::with_capacity(configs.len());
+    let mut converged = Vec::with_capacity(configs.len());
+    for r in results {
+        let (cat, conv) = r.expect("every configuration processed");
+        catchments.push(cat);
+        converged.push(conv);
+    }
+    let tracked: Vec<AsIndex> = topo
+        .indices()
+        .filter(|&i| catchments[0].get(i).is_some())
+        .collect();
+    let mut clustering = Clustering::single(tracked.clone());
+    let mut records = Vec::with_capacity(configs.len());
+    for (k, cat) in catchments.iter().enumerate() {
+        clustering.refine(cat);
+        let stats = clustering.stats();
+        records.push(ConfigRecord {
+            mean_cluster_size: clustering.mean_size(),
+            p90_cluster_size: stats.p90,
+            num_clusters: clustering.num_clusters(),
+            converged: converged[k],
+        });
+    }
+    Campaign {
+        configs: configs.to_vec(),
+        catchments,
+        tracked,
+        clustering,
+        records,
+        imputation: None,
+    }
+}
+
+/// A cluster ranked by how much spoofed volume it can explain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuspectCluster {
+    /// Index into `Campaign::clustering.clusters()`.
+    pub cluster: usize,
+    /// Member sources.
+    pub members: Vec<AsIndex>,
+    /// Upper bound on the spoofed volume this cluster can originate: the
+    /// minimum, over configurations, of the volume observed on the link
+    /// the cluster was routed to. Clusters whose link saw zero volume in
+    /// any configuration cannot contain sources and are excluded.
+    pub volume_upper_bound: u64,
+}
+
+/// Correlate per-configuration, per-link spoofed volumes (honeypot
+/// reports) with the clustering to rank suspect clusters (§I's Figure 1
+/// narrative, generalized to simultaneous sources).
+///
+/// `link_volumes[k][l]` = spoofed bytes on link `l` during configuration
+/// `k`. Requires the same configuration order as the campaign.
+pub fn rank_suspects(campaign: &Campaign, link_volumes: &[Vec<u64>]) -> Vec<SuspectCluster> {
+    assert_eq!(
+        link_volumes.len(),
+        campaign.catchments.len(),
+        "one volume vector per configuration"
+    );
+    let clusters = campaign.clustering.clusters();
+    let mut out = Vec::new();
+    'cluster: for (idx, members) in clusters.iter().enumerate() {
+        // All members share catchments; use the first as representative.
+        let rep = members[0];
+        let mut bound = u64::MAX;
+        for (cat, vols) in campaign.catchments.iter().zip(link_volumes) {
+            let Some(link) = cat.get(rep) else {
+                // Unobserved in this configuration: no constraint.
+                continue;
+            };
+            let v = vols.get(link.us()).copied().unwrap_or(0);
+            if v == 0 {
+                continue 'cluster; // a silent link exonerates the cluster
+            }
+            bound = bound.min(v);
+        }
+        if bound == u64::MAX {
+            continue; // never constrained: no evidence at all
+        }
+        out.push(SuspectCluster {
+            cluster: idx,
+            members: members.clone(),
+            volume_upper_bound: bound,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.volume_upper_bound
+            .cmp(&a.volume_upper_bound)
+            .then(a.cluster.cmp(&b.cluster))
+    });
+    out
+}
+
+/// Volume bounds for one cluster produced by
+/// [`estimate_cluster_volumes`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VolumeEstimate {
+    /// Index into `Campaign::clustering.clusters()`.
+    pub cluster: usize,
+    /// Member sources.
+    pub members: Vec<AsIndex>,
+    /// Proven minimum spoofed volume originated by this cluster.
+    pub lower: u64,
+    /// Proven maximum spoofed volume originated by this cluster.
+    pub upper: u64,
+}
+
+/// Multi-source volume estimation by interval constraint propagation.
+///
+/// Per configuration `c` and link `l`, volume conservation says
+/// `Σ_{clusters k routed to l at c} v_k = V[c][l]`. Starting from the
+/// simple min-bound upper bounds of [`rank_suspects`], the propagation
+/// alternately tightens lower bounds (`v_k ≥ V − Σ_{j≠k} upper_j`) and
+/// upper bounds (`v_k ≤ V − Σ_{j≠k} lower_j`) until a fixpoint (or
+/// `max_rounds`). Clusters whose upper bound reaches zero are exonerated —
+/// far more of them than the min-bound alone manages when several sources
+/// are active at once (an instance of the paper's future-work direction of
+/// jointly reasoning about cluster sizes and traffic volumes).
+///
+/// Soundness assumes the per-AS volumes are stable across configurations
+/// and every source is tracked; both hold for honeypot traffic from the
+/// campaign's tracked set.
+pub fn estimate_cluster_volumes(
+    campaign: &Campaign,
+    link_volumes: &[Vec<u64>],
+    max_rounds: usize,
+) -> Vec<VolumeEstimate> {
+    assert_eq!(link_volumes.len(), campaign.catchments.len());
+    let clusters = campaign.clustering.clusters();
+    let num_links = link_volumes.iter().map(|v| v.len()).max().unwrap_or(0);
+    // Link of each cluster per configuration (None = unobserved).
+    let links: Vec<Vec<Option<LinkId>>> = clusters
+        .iter()
+        .map(|members| {
+            campaign
+                .catchments
+                .iter()
+                .map(|cat| cat.get(members[0]))
+                .collect()
+        })
+        .collect();
+    let vol = |c: usize, l: LinkId| -> u64 {
+        link_volumes[c].get(l.us()).copied().unwrap_or(0)
+    };
+    // Initial bounds.
+    let mut upper: Vec<u64> = links
+        .iter()
+        .map(|per_cfg| {
+            per_cfg
+                .iter()
+                .enumerate()
+                .filter_map(|(c, l)| l.map(|l| vol(c, l)))
+                .min()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut lower = vec![0u64; clusters.len()];
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        for c in 0..link_volumes.len() {
+            // Per-link sums of current bounds over clusters on that link.
+            let mut sum_upper = vec![0u128; num_links];
+            let mut sum_lower = vec![0u128; num_links];
+            for (k, per_cfg) in links.iter().enumerate() {
+                if let Some(l) = per_cfg[c] {
+                    sum_upper[l.us()] += upper[k] as u128;
+                    sum_lower[l.us()] += lower[k] as u128;
+                }
+            }
+            for (k, per_cfg) in links.iter().enumerate() {
+                let Some(l) = per_cfg[c] else { continue };
+                let v = vol(c, l) as u128;
+                // Lower: what the others cannot explain.
+                // `saturating_sub`: bounds updated earlier in this pass
+                // leave the per-link sums slightly stale; saturation keeps
+                // the estimates conservative (sound) either way.
+                let others_upper = sum_upper[l.us()].saturating_sub(upper[k] as u128);
+                let new_lower = v.saturating_sub(others_upper) as u64;
+                if new_lower > lower[k] {
+                    lower[k] = new_lower;
+                    changed = true;
+                }
+                // Upper: what remains after the others' proven minimums.
+                let others_lower = sum_lower[l.us()].saturating_sub(lower[k] as u128);
+                let new_upper = v.saturating_sub(others_lower) as u64;
+                if new_upper < upper[k] {
+                    upper[k] = new_upper;
+                    changed = true;
+                }
+            }
+        }
+        // Keep intervals well-formed.
+        for k in 0..clusters.len() {
+            if lower[k] > upper[k] {
+                lower[k] = upper[k];
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out: Vec<VolumeEstimate> = clusters
+        .into_iter()
+        .enumerate()
+        .filter(|(k, _)| upper[*k] > 0)
+        .map(|(k, members)| VolumeEstimate {
+            cluster: k,
+            members,
+            lower: lower[k],
+            upper: upper[k],
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.lower
+            .cmp(&a.lower)
+            .then(b.upper.cmp(&a.upper))
+            .then(a.cluster.cmp(&b.cluster))
+    });
+    out
+}
+
+/// Robust suspect scoring for *stale* catchments (§V-C: reusing
+/// pre-attack measurements risks errors from route changes).
+///
+/// [`rank_suspects`] exonerates a cluster the moment its link carries zero
+/// volume in a single configuration — correct when catchments are fresh,
+/// brittle when they are stale (one changed route hides the attacker).
+/// This scorer instead ranks clusters by the *fraction of configurations*
+/// in which their (possibly stale) link carried volume, degrading
+/// gracefully with routing churn.
+///
+/// Returns `(cluster_index, members, match_fraction)` sorted descending.
+pub fn match_fraction_scores(
+    campaign: &Campaign,
+    link_volumes: &[Vec<u64>],
+) -> Vec<(usize, Vec<AsIndex>, f64)> {
+    assert_eq!(link_volumes.len(), campaign.catchments.len());
+    let clusters = campaign.clustering.clusters();
+    let mut out = Vec::with_capacity(clusters.len());
+    for (idx, members) in clusters.into_iter().enumerate() {
+        let rep = members[0];
+        let mut observed = 0usize;
+        let mut matched = 0usize;
+        for (cat, vols) in campaign.catchments.iter().zip(link_volumes) {
+            let Some(link) = cat.get(rep) else { continue };
+            observed += 1;
+            if vols.get(link.us()).copied().unwrap_or(0) > 0 {
+                matched += 1;
+            }
+        }
+        if observed == 0 {
+            continue;
+        }
+        out.push((idx, members, matched as f64 / observed as f64));
+    }
+    out.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("no NaN").then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Convenience: the set of ASes named by the top suspect clusters covering
+/// at least `coverage` (0–1] of the total suspect volume bound.
+pub fn suspect_ases(suspects: &[SuspectCluster], coverage: f64) -> Vec<AsIndex> {
+    let total: u64 = suspects.iter().map(|s| s.volume_upper_bound).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut acc = 0u64;
+    let mut out = Vec::new();
+    for s in suspects {
+        out.extend(s.members.iter().copied());
+        acc += s.volume_upper_bound;
+        if acc as f64 / total as f64 >= coverage {
+            break;
+        }
+    }
+    out
+}
+
+/// Compute per-configuration per-link volumes for a set of per-AS volumes
+/// under the campaign's catchments — the honeypot-report matrix an origin
+/// would have recorded if those sources had been active throughout.
+pub fn link_volume_matrix(campaign: &Campaign, volume_per_as: &[u64], num_links: usize) -> Vec<Vec<u64>> {
+    campaign
+        .catchments
+        .iter()
+        .map(|cat| trackdown_traffic::volume_per_link(cat, volume_per_as, num_links))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{full_schedule, GeneratorParams};
+    use trackdown_bgp::{EngineConfig, PolicyConfig};
+    use trackdown_topology::gen::{generate, TopologyConfig};
+
+    fn setup() -> (
+        trackdown_topology::gen::GeneratedTopology,
+        OriginAs,
+        EngineConfig,
+    ) {
+        let g = generate(&TopologyConfig::small(23));
+        let origin = OriginAs::peering_style(&g, 4);
+        let cfg = EngineConfig {
+            policy: PolicyConfig {
+                seed: 5,
+                violator_fraction: 0.05,
+                no_loop_prevention_fraction: 0.02,
+                tier1_poison_filtering: true,
+            },
+            ..EngineConfig::default()
+        };
+        (g, origin, cfg)
+    }
+
+    #[test]
+    fn campaign_reduces_cluster_sizes() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 2,
+                max_poison_configs: Some(10),
+            },
+        );
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        assert_eq!(campaign.records.len(), schedule.len());
+        let first = campaign.records.first().unwrap();
+        let last = campaign.records.last().unwrap();
+        assert!(last.mean_cluster_size < first.mean_cluster_size);
+        assert!(last.mean_cluster_size < 5.0, "mean={}", last.mean_cluster_size);
+        // Mean sizes never increase as configurations accumulate.
+        for w in campaign.records.windows(2) {
+            assert!(w[1].mean_cluster_size <= w[0].mean_cluster_size + 1e-9);
+        }
+        // All tracked sources partitioned.
+        let total: usize = campaign.clustering.sizes().iter().sum();
+        assert_eq!(total, campaign.tracked.len());
+    }
+
+    #[test]
+    fn single_source_is_localized() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 2,
+                max_poison_configs: Some(10),
+            },
+        );
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        // Plant a single attacker in a tracked AS.
+        let attacker = campaign.tracked[campaign.tracked.len() / 2];
+        let mut volume = vec![0u64; g.topology.num_ases()];
+        volume[attacker.us()] = 1_000_000;
+        let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+        let suspects = rank_suspects(&campaign, &vols);
+        assert!(!suspects.is_empty());
+        // The attacker's cluster must rank first.
+        assert!(
+            suspects[0].members.contains(&attacker),
+            "attacker not in top suspect cluster"
+        );
+        // And every suspect cluster member shares the attacker's catchment
+        // history, so the suspect list is exactly one cluster.
+        assert_eq!(suspects.len(), 1);
+        let named = suspect_ases(&suspects, 1.0);
+        assert!(named.contains(&attacker));
+    }
+
+    #[test]
+    fn two_sources_both_found() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 2,
+                max_poison_configs: Some(10),
+            },
+        );
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        let a = campaign.tracked[3];
+        let b = campaign.tracked[campaign.tracked.len() - 4];
+        let mut volume = vec![0u64; g.topology.num_ases()];
+        volume[a.us()] = 500_000;
+        volume[b.us()] = 400_000;
+        let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+        let suspects = rank_suspects(&campaign, &vols);
+        let named = suspect_ases(&suspects, 1.0);
+        assert!(named.contains(&a), "source a missed");
+        assert!(named.contains(&b), "source b missed");
+    }
+
+    #[test]
+    fn constraint_propagation_tightens_multi_source_bounds() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 2,
+                max_poison_configs: Some(10),
+            },
+        );
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        // Several simultaneous sources.
+        let sources = [
+            campaign.tracked[2],
+            campaign.tracked[campaign.tracked.len() / 2],
+            campaign.tracked[campaign.tracked.len() - 3],
+        ];
+        let mut volume = vec![0u64; g.topology.num_ases()];
+        for (i, s) in sources.iter().enumerate() {
+            volume[s.us()] = 100_000 * (i as u64 + 1);
+        }
+        let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+
+        let simple = rank_suspects(&campaign, &vols);
+        let refined = estimate_cluster_volumes(&campaign, &vols, 10);
+        // Refinement never names more clusters than the simple bound.
+        assert!(refined.len() <= simple.len());
+        // Bounds are well-formed and every true source cluster survives
+        // with an upper bound covering its real volume.
+        for s in &sources {
+            let real = volume[s.us()];
+            let est = refined
+                .iter()
+                .find(|e| e.members.contains(s))
+                .expect("true source exonerated");
+            assert!(est.lower <= real, "lower {} > real {real}", est.lower);
+            assert!(est.upper >= real, "upper {} < real {real}", est.upper);
+        }
+        // And all bounds are ordered.
+        for e in &refined {
+            assert!(e.lower <= e.upper);
+        }
+    }
+
+    #[test]
+    fn constraint_propagation_single_source_is_tight() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 2,
+                max_poison_configs: Some(10),
+            },
+        );
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        let attacker = campaign.tracked[campaign.tracked.len() / 2];
+        let mut volume = vec![0u64; g.topology.num_ases()];
+        volume[attacker.us()] = 777_000;
+        let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+        let refined = estimate_cluster_volumes(&campaign, &vols, 10);
+        // Exactly one cluster survives, with exact bounds.
+        assert_eq!(refined.len(), 1);
+        assert!(refined[0].members.contains(&attacker));
+        assert_eq!(refined[0].lower, 777_000);
+        assert_eq!(refined[0].upper, 777_000);
+    }
+
+    #[test]
+    fn parallel_campaign_equals_sequential() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 2,
+                max_poison_configs: Some(10),
+            },
+        );
+        let seq = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        for threads in [1usize, 3, 8, 64] {
+            let par = run_campaign_parallel(
+                &engine,
+                &origin,
+                &schedule,
+                CatchmentSource::ControlPlane,
+                200,
+                threads,
+            );
+            assert_eq!(par.catchments, seq.catchments, "threads={threads}");
+            assert_eq!(par.tracked, seq.tracked);
+            assert_eq!(
+                par.clustering.num_clusters(),
+                seq.clustering.num_clusters()
+            );
+            assert_eq!(par.records, seq.records);
+        }
+    }
+
+    #[test]
+    fn match_fraction_ranks_attacker_first_with_fresh_catchments() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 2,
+                max_poison_configs: Some(10),
+            },
+        );
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        let attacker = campaign.tracked[campaign.tracked.len() / 3];
+        let mut volume = vec![0u64; g.topology.num_ases()];
+        volume[attacker.us()] = 1_000;
+        let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+        let scores = match_fraction_scores(&campaign, &vols);
+        // The attacker's cluster scores a perfect 1.0 and ranks first.
+        assert!((scores[0].2 - 1.0).abs() < 1e-12);
+        assert!(scores[0].1.contains(&attacker));
+        // Scores are sorted descending.
+        for w in scores.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+    }
+
+    #[test]
+    fn measured_campaign_runs_and_imputes() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let cones = trackdown_topology::cone::ConeInfo::compute(&g.topology);
+        let plane = MeasurementPlane::new(
+            &g.topology,
+            &cones,
+            &trackdown_measure::MeasurementConfig::default(),
+        );
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 1,
+                max_poison_configs: Some(5),
+            },
+        );
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::Measured,
+            Some(&plane),
+            200,
+        );
+        let stats = campaign.imputation.unwrap();
+        assert_eq!(stats.analysis_sources, campaign.tracked.len());
+        assert!(!campaign.tracked.is_empty());
+        assert!(campaign.clustering.num_clusters() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty schedule")]
+    fn empty_schedule_rejected() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let _ = run_campaign(
+            &engine,
+            &origin,
+            &[],
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Rendering helpers for the experiment harnesses: named series, aligned
+//! text tables, and CSV export, so every figure binary prints the same
+//! rows/axes the paper reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A named (x, y) series, one figure line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build from anything convertible to `f64` pairs.
+    pub fn new<X: Into<f64> + Copy, Y: Into<f64> + Copy>(
+        name: &str,
+        points: &[(X, Y)],
+    ) -> Series {
+        Series {
+            name: name.to_string(),
+            points: points.iter().map(|&(x, y)| (x.into(), y.into())).collect(),
+        }
+    }
+}
+
+/// Render series as CSV: `x,<name1>,<name2>,…` with one row per distinct
+/// x value (missing values empty). Series need not share x grids.
+pub fn to_csv(series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    xs.dedup();
+    let mut out = String::new();
+    out.push('x');
+    for s in series {
+        out.push(',');
+        out.push_str(&s.name.replace(',', ";"));
+    }
+    out.push('\n');
+    for &x in &xs {
+        let _ = write!(out, "{x}");
+        for s in series {
+            out.push(',');
+            if let Some(p) = s.points.iter().find(|p| p.0 == x) {
+                let _ = write!(out, "{}", p.1);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an aligned text table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |out: &mut String, cells: &[String]| {
+        for (c, cell) in cells.iter().enumerate().take(cols) {
+            if c > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{:<width$}", cell, width = widths[c]);
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    render_row(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    render_row(&mut out, &sep);
+    for row in rows {
+        render_row(&mut out, row);
+    }
+    out
+}
+
+/// Render series as a fixed-size ASCII plot (rows × cols characters plus
+/// axes), mapping each series to its own glyph. Intended for terminal
+/// experiment output; log-scale the inputs yourself if needed.
+pub fn ascii_plot(series: &[Series], cols: usize, rows: usize) -> String {
+    const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+    let points: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if points.is_empty() || cols < 2 || rows < 2 {
+        return String::from("(no data)\n");
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if xmax == xmin {
+        xmax = xmin + 1.0;
+    }
+    if ymax == ymin {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; cols]; rows];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - xmin) / (xmax - xmin)) * (cols - 1) as f64).round() as usize;
+            let cy = (((y - ymin) / (ymax - ymin)) * (rows - 1) as f64).round() as usize;
+            let row = rows - 1 - cy.min(rows - 1);
+            grid[row][cx.min(cols - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        if r == 0 {
+            let _ = write!(out, "{:>10.3} |", ymax);
+        } else if r == rows - 1 {
+            let _ = write!(out, "{:>10.3} |", ymin);
+        } else {
+            out.push_str("           |");
+        }
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("           +");
+    out.push_str(&"-".repeat(cols));
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "            {:<10.3}{:>width$.3}",
+        xmin,
+        xmax,
+        width = cols.saturating_sub(10)
+    );
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "            {} {}", GLYPHS[si % GLYPHS.len()], s.name);
+    }
+    out
+}
+
+/// Downsample a long series to roughly `max_points` points, always keeping
+/// the first and last (keeps figure output readable in a terminal).
+pub fn downsample(points: &[(f64, f64)], max_points: usize) -> Vec<(f64, f64)> {
+    if points.len() <= max_points || max_points < 2 {
+        return points.to_vec();
+    }
+    let mut out = Vec::with_capacity(max_points);
+    let step = (points.len() - 1) as f64 / (max_points - 1) as f64;
+    for k in 0..max_points {
+        let idx = (k as f64 * step).round() as usize;
+        out.push(points[idx.min(points.len() - 1)]);
+    }
+    out.dedup_by(|a, b| a.0 == b.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_merges_x_grids() {
+        let a = Series::new("a", &[(1.0, 10.0), (2.0, 20.0)]);
+        let b = Series::new("b", &[(2.0, 200.0), (3.0, 300.0)]);
+        let csv = to_csv(&[a, b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,20,200");
+        assert_eq!(lines[3], "3,,300");
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_names() {
+        let s = Series::new("a,b", &[(1.0, 1.0)]);
+        assert!(to_csv(&[s]).starts_with("x,a;b\n"));
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "count"],
+            &[
+                vec!["alpha".into(), "1".into()],
+                vec!["b".into(), "10000".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "name   count");
+        assert_eq!(lines[1], "-----  -----");
+        assert_eq!(lines[2], "alpha  1");
+        assert_eq!(lines[3], "b      10000");
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64 * 2.0)).collect();
+        let d = downsample(&pts, 10);
+        assert!(d.len() <= 10);
+        assert_eq!(d[0], (0.0, 0.0));
+        assert_eq!(*d.last().unwrap(), (99.0, 198.0));
+        // Short series pass through.
+        assert_eq!(downsample(&pts[..5], 10), pts[..5].to_vec());
+    }
+
+    #[test]
+    fn ascii_plot_renders_axes_and_legend() {
+        let s = vec![
+            Series::new("up", &[(0.0, 0.0), (10.0, 10.0)]),
+            Series::new("flat", &[(0.0, 5.0), (10.0, 5.0)]),
+        ];
+        let plot = ascii_plot(&s, 40, 10);
+        assert!(plot.contains('*'));
+        assert!(plot.contains('+'));
+        assert!(plot.contains("* up"));
+        assert!(plot.contains("+ flat"));
+        assert!(plot.contains("+----"));
+        // 10 grid rows + axis + x labels + 2 legend lines.
+        assert_eq!(plot.lines().count(), 14);
+    }
+
+    #[test]
+    fn ascii_plot_degenerate_inputs() {
+        assert_eq!(ascii_plot(&[], 40, 10), "(no data)\n");
+        let s = vec![Series::new("dot", &[(1.0, 1.0)])];
+        let plot = ascii_plot(&s, 20, 5);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn series_new_converts_ints() {
+        let s = Series::new("n", &[(1u32, 2u32)]);
+        assert_eq!(s.points, vec![(1.0, 2.0)]);
+    }
+}

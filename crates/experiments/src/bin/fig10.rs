@@ -1,0 +1,15 @@
+//! Regenerate Figure 10: traffic volume vs cluster size per distribution.
+use trackdown_experiments::{figures, Options, Scale, Scenario};
+
+fn main() {
+    let opts = Options::from_args();
+    let scenario = Scenario::build(opts);
+    eprintln!("# {}", scenario.describe());
+    let campaign = scenario.run();
+    let placements = match opts.scale {
+        Scale::Small => 100,
+        Scale::Medium => 300,
+        Scale::Full => 1000,
+    };
+    print!("{}", figures::fig10(&scenario, &campaign, placements));
+}

@@ -1,0 +1,9 @@
+//! Regenerate Figure 3: CCDF of cluster sizes after each phase.
+use trackdown_experiments::{figures, Options, Scenario};
+
+fn main() {
+    let scenario = Scenario::build(Options::from_args());
+    eprintln!("# {}", scenario.describe());
+    let campaign = scenario.run();
+    print!("{}", figures::fig3(&scenario, &campaign));
+}

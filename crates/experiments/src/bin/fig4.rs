@@ -1,0 +1,9 @@
+//! Regenerate Figure 4: cluster sizes vs number of configurations.
+use trackdown_experiments::{figures, Options, Scenario};
+
+fn main() {
+    let scenario = Scenario::build(Options::from_args());
+    eprintln!("# {}", scenario.describe());
+    let campaign = scenario.run();
+    print!("{}", figures::fig4(&campaign));
+}

@@ -1,0 +1,9 @@
+//! Regenerate Figure 5: mean cluster size when removing peering locations.
+use trackdown_experiments::{figures, Options, Scenario};
+
+fn main() {
+    let scenario = Scenario::build(Options::from_args());
+    eprintln!("# {}", scenario.describe());
+    let campaign = scenario.run();
+    print!("{}", figures::fig5(&scenario, &campaign));
+}

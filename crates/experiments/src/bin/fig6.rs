@@ -1,0 +1,9 @@
+//! Regenerate Figure 6: CCDF of cluster sizes after removing locations.
+use trackdown_experiments::{figures, Options, Scenario};
+
+fn main() {
+    let scenario = Scenario::build(Options::from_args());
+    eprintln!("# {}", scenario.describe());
+    let campaign = scenario.run();
+    print!("{}", figures::fig6(&scenario, &campaign));
+}

@@ -1,0 +1,9 @@
+//! Regenerate Figure 7: cluster size vs AS-hop distance from the origin.
+use trackdown_experiments::{figures, Options, Scenario};
+
+fn main() {
+    let scenario = Scenario::build(Options::from_args());
+    eprintln!("# {}", scenario.describe());
+    let campaign = scenario.run();
+    print!("{}", figures::fig7(&scenario, &campaign));
+}

@@ -1,0 +1,15 @@
+//! Regenerate Figure 8: random vs greedy announcement schedules.
+use trackdown_experiments::{figures, Options, Scale, Scenario};
+
+fn main() {
+    let opts = Options::from_args();
+    let scenario = Scenario::build(opts);
+    eprintln!("# {}", scenario.describe());
+    let campaign = scenario.run();
+    let (samples, steps) = match opts.scale {
+        Scale::Small => (100, 20),
+        Scale::Medium => (200, 30),
+        Scale::Full => (300, 40),
+    };
+    print!("{}", figures::fig8(&campaign, samples, steps, opts.seed ^ 0xF18));
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figure 9: ASes following well-known routing policies.
+use trackdown_experiments::{figures, Options, Scenario};
+
+fn main() {
+    let scenario = Scenario::build(Options::from_args());
+    eprintln!("# {}", scenario.describe());
+    print!("{}", figures::fig9(&scenario));
+}

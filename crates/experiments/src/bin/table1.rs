@@ -1,0 +1,7 @@
+//! Regenerate Table I: PoPs and providers of the simulated platform.
+use trackdown_experiments::{figures, Options, Scenario};
+
+fn main() {
+    let scenario = Scenario::build(Options::from_args());
+    print!("{}", figures::table1(&scenario));
+}

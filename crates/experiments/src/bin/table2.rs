@@ -1,0 +1,6 @@
+//! Regenerate Table II: qualitative comparison of traceback approaches.
+use trackdown_experiments::figures;
+
+fn main() {
+    print!("{}", figures::table2());
+}

@@ -1,0 +1,337 @@
+//! # trackdown-experiments
+//!
+//! Reproduction harnesses for every table and figure in the paper's
+//! evaluation (§V). Each binary regenerates one artifact:
+//!
+//! | binary   | artifact  | content |
+//! |----------|-----------|---------|
+//! | `table1` | Table I   | PoPs and providers of the (simulated) platform |
+//! | `fig3`   | Figure 3  | CCDF of cluster sizes after each phase |
+//! | `fig4`   | Figure 4  | mean/p90 cluster size vs number of configurations |
+//! | `fig5`   | Figure 5  | mean cluster size when removing peering locations |
+//! | `fig6`   | Figure 6  | CCDF of cluster sizes after removing locations |
+//! | `fig7`   | Figure 7  | cluster size vs AS-hop distance from the origin |
+//! | `fig8`   | Figure 8  | random vs greedy configuration schedules |
+//! | `fig9`   | Figure 9  | fraction of ASes following known routing policies |
+//! | `fig10`  | Figure 10 | traffic volume vs cluster size per source distribution |
+//! | `table2` | Table II  | qualitative comparison of traceback approaches |
+//! | `run_all`| all       | everything above, written to `results/` |
+//!
+//! Absolute values differ from the paper (the substrate is a synthetic
+//! Internet, not PEERING + RouteViews + Atlas); the *shapes* are the
+//! reproduction target. Every binary accepts `--scale small|medium|full`
+//! (default `full`) and `--seed <u64>`.
+
+use std::collections::BTreeSet;
+use trackdown_bgp::{BgpEngine, EngineConfig, LinkId, OriginAs, PolicyConfig};
+use trackdown_core::generator::{full_schedule, phase_boundaries, GeneratorParams};
+use trackdown_core::localize::{run_campaign, Campaign, CatchmentSource};
+use trackdown_core::report::{downsample, render_table, Series};
+use trackdown_core::{AnnouncementConfig, Phase};
+use trackdown_measure::{MeasurementConfig, MeasurementPlane};
+use trackdown_topology::cone::ConeInfo;
+use trackdown_topology::gen::{generate, GeneratedTopology, TopologyConfig};
+
+pub mod figures;
+
+/// Experiment scale: trades fidelity for runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ≈120 ASes, 4 PoPs — smoke-test scale (seconds).
+    Small,
+    /// ≈600 ASes, 5 PoPs — development scale.
+    Medium,
+    /// ≈2000 ASes, 7 PoPs — the paper-like scale (default).
+    Full,
+}
+
+impl Scale {
+    /// Parse from a `--scale` argument value.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Topology seed.
+    pub seed: u64,
+    /// Obtain catchments through the simulated observation plane (BGP
+    /// feeds + noisy traceroutes + visibility imputation) instead of the
+    /// control-plane oracle — closest to the paper's §IV pipeline, where
+    /// only feed/probe-visible sources enter the analysis.
+    pub measured: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            scale: Scale::Full,
+            seed: 0x5eed_0001,
+            measured: false,
+        }
+    }
+}
+
+impl Options {
+    /// Parse `--scale` and `--seed` from process arguments; exits with a
+    /// usage message on malformed input.
+    pub fn from_args() -> Options {
+        let mut opts = Options::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    opts.scale = args
+                        .get(i)
+                        .and_then(|v| Scale::parse(v))
+                        .unwrap_or_else(|| usage());
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage());
+                }
+                "--measured" => opts.measured = true,
+                "--help" | "-h" => usage(),
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    usage()
+                }
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: <experiment> [--scale small|medium|full] [--seed <u64>] [--measured]"
+    );
+    std::process::exit(2)
+}
+
+/// A fully-built experiment scenario: topology, origin, engine
+/// configuration, and schedule parameters.
+pub struct Scenario {
+    /// The generated topology and metadata.
+    pub gen: GeneratedTopology,
+    /// The multi-PoP origin.
+    pub origin: OriginAs,
+    /// Engine (policy) configuration.
+    pub engine_cfg: EngineConfig,
+    /// Schedule generation parameters.
+    pub params: GeneratorParams,
+    /// Scale this scenario was built at.
+    pub scale: Scale,
+    /// Whether campaigns run through the measurement plane.
+    pub measured: bool,
+}
+
+impl Scenario {
+    /// Build the scenario for the given options.
+    pub fn build(opts: Options) -> Scenario {
+        let (topo_cfg, pops, params) = match opts.scale {
+            Scale::Small => (
+                TopologyConfig::small(opts.seed),
+                4,
+                GeneratorParams {
+                    max_removals: 2,
+                    max_poison_configs: Some(20),
+                },
+            ),
+            Scale::Medium => (
+                TopologyConfig::medium(opts.seed),
+                5,
+                GeneratorParams {
+                    max_removals: 2,
+                    max_poison_configs: Some(60),
+                },
+            ),
+            Scale::Full => (
+                TopologyConfig {
+                    seed: opts.seed,
+                    ..TopologyConfig::default()
+                },
+                7,
+                GeneratorParams {
+                    max_removals: 3,
+                    max_poison_configs: None,
+                },
+            ),
+        };
+        let gen = generate(&topo_cfg);
+        let origin = OriginAs::peering_style(&gen, pops);
+        let engine_cfg = EngineConfig {
+            policy: PolicyConfig {
+                seed: opts.seed ^ 0x9_11C7,
+                ..PolicyConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        Scenario {
+            gen,
+            origin,
+            engine_cfg,
+            params,
+            scale: opts.scale,
+            measured: opts.measured,
+        }
+    }
+
+    /// Build the BGP engine (borrows the scenario's topology).
+    pub fn engine(&self) -> BgpEngine<'_> {
+        BgpEngine::new(&self.gen.topology, &self.engine_cfg)
+    }
+
+    /// The full three-phase schedule.
+    pub fn schedule(&self) -> Vec<AnnouncementConfig> {
+        full_schedule(&self.gen.topology, &self.origin, &self.params)
+    }
+
+    /// Deploy the full schedule. By default, catchments are ground-truth
+    /// control plane; with `--measured` they pass through the simulated
+    /// observation plane (the paper's §IV pipeline), which restricts the
+    /// tracked set to feed/probe-visible sources and adds measurement
+    /// noise.
+    pub fn run(&self) -> Campaign {
+        let engine = self.engine();
+        let schedule = self.schedule();
+        if self.measured {
+            let cones = ConeInfo::compute(&self.gen.topology);
+            let plane = MeasurementPlane::new(
+                &self.gen.topology,
+                &cones,
+                &MeasurementConfig::default(),
+            );
+            run_campaign(
+                &engine,
+                &self.origin,
+                &schedule,
+                CatchmentSource::Measured,
+                Some(&plane),
+                self.engine_cfg.max_events_factor,
+            )
+        } else {
+            // Independent configurations propagate in parallel — the
+            // simulation analog of deploying on multiple prefixes
+            // concurrently (§V-C).
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            trackdown_core::localize::run_campaign_parallel(
+                &engine,
+                &self.origin,
+                &schedule,
+                CatchmentSource::ControlPlane,
+                self.engine_cfg.max_events_factor,
+                threads,
+            )
+        }
+    }
+
+    /// Footprint link-id set covering all links.
+    pub fn all_links(&self) -> BTreeSet<LinkId> {
+        self.origin.link_ids().collect()
+    }
+
+    /// Human description for report headers.
+    pub fn describe(&self) -> String {
+        format!(
+            "{:?} scale: {} ASes, {} links, origin {} with {} PoPs",
+            self.scale,
+            self.gen.topology.num_ases(),
+            self.gen.topology.num_links(),
+            self.origin.asn,
+            self.origin.num_links(),
+        )
+    }
+}
+
+/// Render a campaign's phase boundaries as text (used by several figures).
+pub fn phase_summary(campaign: &Campaign) -> String {
+    let bounds = phase_boundaries(&campaign.configs);
+    let rows: Vec<Vec<String>> = bounds
+        .iter()
+        .map(|(phase, end)| {
+            let idx = end - 1;
+            vec![
+                phase.to_string(),
+                end.to_string(),
+                format!("{:.3}", campaign.records[idx].mean_cluster_size),
+                campaign.records[idx].p90_cluster_size.to_string(),
+                campaign.records[idx].num_clusters.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &["phase", "configs", "mean size", "p90", "clusters"],
+        &rows,
+    )
+}
+
+/// Format `(x, y)` series for terminal output: an ASCII sketch of the
+/// curves followed by a downsampled CSV block.
+pub fn print_series(title: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let compact: Vec<Series> = series
+        .iter()
+        .map(|s| Series {
+            name: s.name.clone(),
+            points: downsample(&s.points, 40),
+        })
+        .collect();
+    out.push_str(&trackdown_core::report::ascii_plot(&compact, 64, 16));
+    out.push('\n');
+    out.push_str(&trackdown_core::report::to_csv(&compact));
+    out
+}
+
+/// Phase boundary prefixes (Figure 3's three distributions).
+pub fn phase_prefixes(configs: &[AnnouncementConfig]) -> Vec<(Phase, usize)> {
+    phase_boundaries(configs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scenario_builds_and_runs() {
+        let opts = Options {
+            scale: Scale::Small,
+            seed: 3,
+            measured: false,
+        };
+        let s = Scenario::build(opts);
+        assert_eq!(s.origin.num_links(), 4);
+        let campaign = s.run();
+        assert!(!campaign.records.is_empty());
+        assert!(campaign.clustering.mean_size() >= 1.0);
+        let summary = phase_summary(&campaign);
+        assert!(summary.contains("location"));
+        assert!(summary.contains("poisoning"));
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("x"), None);
+    }
+}

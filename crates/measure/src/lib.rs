@@ -1,0 +1,127 @@
+//! # trackdown-measure
+//!
+//! The catchment-measurement substrate: the simulated equivalent of the
+//! paper's observation pipeline (§IV-b/c/d), which combined RouteViews and
+//! RIPE RIS BGP feeds with RIPE Atlas traceroutes to infer which peering
+//! link each source AS routes to.
+//!
+//! The pipeline is faithful to the paper's, fault injection included:
+//!
+//! 1. [`vantage`] — select BGP feeder ASes (cone-weighted, all tier-1s)
+//!    and probe ASes;
+//! 2. [`traceroute`] — walk data-plane paths with unresponsive hops and
+//!    [`mapping`] (IP-to-AS) errors;
+//! 3. [`repair`] — the paper's three-rule gap repair;
+//! 4. [`observe`] — combine BGP and traceroute votes per source with BGP
+//!    priority and majority resolution;
+//! 5. [`visibility`] — restrict to baseline-observed sources and impute
+//!    holes via each source's `smax` companion.
+//!
+//! [`plane::MeasurementPlane`] bundles steps 1–4 behind one call.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collector;
+pub mod mapping;
+pub mod observe;
+pub mod plane;
+pub mod repair;
+pub mod traceroute;
+pub mod vantage;
+pub mod visibility;
+
+pub use collector::{CollectorUpdate, UpdateStream};
+pub use mapping::{HopResolution, IpToAs, IpToAsConfig};
+pub use observe::{collect_bgp_feeds, combine_observations, BgpObservation, MeasuredCatchments};
+pub use plane::{MeasurementConfig, MeasurementPlane};
+pub use repair::{repair_campaign, InteriorIndex, RepairedPath};
+pub use traceroute::{run_campaign, run_traceroute, sample_probes, Hop, Traceroute, TracerouteConfig};
+pub use vantage::{VantageConfig, VantagePoints};
+pub use visibility::{analysis_set, impute_visibility, ImputationStats};
+
+/// SplitMix64 mixer shared by the fault-injection rolls in this crate.
+#[inline]
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use trackdown_topology::Asn;
+
+    fn seq_strategy() -> impl Strategy<Value = Vec<Option<Asn>>> {
+        proptest::collection::vec(
+            proptest::option::weighted(0.8, (1u32..40).prop_map(Asn)),
+            0..12,
+        )
+    }
+
+    proptest! {
+        // Repair never invents an AS that is absent from every evidence
+        // source (the sequence itself, other traceroutes, BGP paths).
+        #[test]
+        fn repair_only_uses_known_ases(
+            seqs in proptest::collection::vec(seq_strategy(), 1..6),
+            paths in proptest::collection::vec(
+                proptest::collection::vec((1u32..40).prop_map(Asn), 0..6), 0..4),
+        ) {
+            use crate::traceroute::Hop;
+            use trackdown_topology::AsIndex;
+            let campaign: Vec<Traceroute> = seqs
+                .iter()
+                .map(|s| Traceroute {
+                    probe: AsIndex(0),
+                    round: 0,
+                    reached: Some(trackdown_bgp::LinkId(0)),
+                    hops: s
+                        .iter()
+                        .map(|o| Hop { true_as: AsIndex(0), observed: *o })
+                        .collect(),
+                })
+                .collect();
+            let repaired = repair_campaign(&campaign, &paths);
+            let mut known: Vec<Asn> = seqs.iter().flatten().flatten().copied().collect();
+            known.extend(paths.iter().flatten().copied());
+            for rp in &repaired {
+                for a in &rp.path {
+                    prop_assert!(known.contains(a), "invented {a}");
+                }
+            }
+        }
+
+        // Repaired paths never contain consecutive duplicate ASes and the
+        // hop accounting is consistent.
+        #[test]
+        fn repair_output_well_formed(
+            seqs in proptest::collection::vec(seq_strategy(), 1..6),
+        ) {
+            use crate::traceroute::Hop;
+            use trackdown_topology::AsIndex;
+            let campaign: Vec<Traceroute> = seqs
+                .iter()
+                .map(|s| Traceroute {
+                    probe: AsIndex(0),
+                    round: 0,
+                    reached: None,
+                    hops: s
+                        .iter()
+                        .map(|o| Hop { true_as: AsIndex(0), observed: *o })
+                        .collect(),
+                })
+                .collect();
+            for (rp, seq) in repair_campaign(&campaign, &[]).iter().zip(&seqs) {
+                for w in rp.path.windows(2) {
+                    prop_assert_ne!(w[0], w[1]);
+                }
+                let gaps = seq.iter().filter(|o| o.is_none()).count();
+                prop_assert!(rp.ignored_hops + rp.repaired_hops <= gaps.max(seq.len()));
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Combining BGP and traceroute observations into measured catchments.
+//!
+//! Implements §IV-c of the paper: every AS seen on a feeder's AS-path or a
+//! repaired traceroute votes for the ingress link of that path (BGP's
+//! path-vector property makes the sub-path from any on-path AS that AS's
+//! own route). When votes conflict — which happens for ~2.28 % of sources
+//! in the paper's dataset, mostly from IP-to-AS errors — BGP votes take
+//! priority over traceroute votes and the most common catchment wins.
+
+use crate::repair::RepairedPath;
+use trackdown_bgp::{Catchments, LinkId, RoutingOutcome};
+use trackdown_topology::{AsIndex, Asn, Topology};
+
+/// One AS-path observed at a route collector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpObservation {
+    /// The feeding AS.
+    pub feeder: AsIndex,
+    /// AS-level path, feeder first, PoP provider last. The origin ASN and
+    /// any poison-sandwich ASes are already stripped: PEERING's `o u o`
+    /// convention makes poisoned hops trivially identifiable (§IV-e).
+    pub path: Vec<Asn>,
+    /// Ingress link of the observed route.
+    pub ingress: LinkId,
+}
+
+/// Collect the Loc-RIB exports of the feeder ASes.
+pub fn collect_bgp_feeds(
+    topo: &Topology,
+    outcome: &RoutingOutcome,
+    feeders: &[AsIndex],
+    origin_asn: Asn,
+) -> Vec<BgpObservation> {
+    feeders
+        .iter()
+        .filter_map(|&f| {
+            outcome.best[f.us()].as_ref().map(|r| {
+                let poisons = r.path.poisons_of(origin_asn);
+                let mut path = vec![topo.asn_of(f)];
+                for a in r.path.distinct() {
+                    if a != origin_asn && !poisons.contains(&a) {
+                        path.push(a);
+                    }
+                }
+                BgpObservation {
+                    feeder: f,
+                    path,
+                    ingress: r.ingress,
+                }
+            })
+        })
+        .collect()
+}
+
+/// Catchments as measured from the observation plane, with per-source
+/// bookkeeping for the visibility analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredCatchments {
+    /// The per-AS link assignment the origin infers.
+    pub catchments: Catchments,
+    /// True when any observation covered the AS.
+    pub observed: Vec<bool>,
+    /// True when observations disagreed about the AS's catchment.
+    pub multi_catchment: Vec<bool>,
+}
+
+impl MeasuredCatchments {
+    /// Fraction of observed sources that appeared in multiple catchments
+    /// (the paper reports 2.28 % on average).
+    pub fn multi_catchment_rate(&self) -> f64 {
+        let observed = self.observed.iter().filter(|o| **o).count();
+        if observed == 0 {
+            return 0.0;
+        }
+        let multi = self
+            .multi_catchment
+            .iter()
+            .zip(&self.observed)
+            .filter(|(m, o)| **m && **o)
+            .count();
+        multi as f64 / observed as f64
+    }
+
+    /// Number of sources covered by at least one observation.
+    pub fn observed_count(&self) -> usize {
+        self.observed.iter().filter(|o| **o).count()
+    }
+}
+
+/// Majority link among votes; ties break toward the smaller link id so the
+/// outcome is deterministic.
+fn majority(votes: &[LinkId]) -> Option<LinkId> {
+    if votes.is_empty() {
+        return None;
+    }
+    let mut sorted = votes.to_vec();
+    sorted.sort_unstable();
+    let mut best = sorted[0];
+    let mut best_count = 0usize;
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let v = sorted[i];
+        let mut j = i;
+        while j < sorted.len() && sorted[j] == v {
+            j += 1;
+        }
+        if j - i > best_count {
+            best = v;
+            best_count = j - i;
+        }
+        i = j;
+    }
+    Some(best)
+}
+
+/// Combine BGP and traceroute observations into measured catchments,
+/// applying the paper's priority rules:
+/// 1. A source with BGP votes uses the BGP majority (BGP is trusted over
+///    traceroute to minimize IP-to-AS errors).
+/// 2. Otherwise the traceroute majority applies.
+/// 3. Conflicting votes of any kind set the `multi_catchment` flag.
+pub fn combine_observations(
+    topo: &Topology,
+    bgp: &[BgpObservation],
+    traceroutes: &[RepairedPath],
+) -> MeasuredCatchments {
+    let n = topo.num_ases();
+    let mut bgp_votes: Vec<Vec<LinkId>> = vec![Vec::new(); n];
+    let mut tr_votes: Vec<Vec<LinkId>> = vec![Vec::new(); n];
+
+    for obs in bgp {
+        for a in &obs.path {
+            if let Some(i) = topo.index_of(*a) {
+                bgp_votes[i.us()].push(obs.ingress);
+            }
+        }
+    }
+    for rp in traceroutes {
+        let Some(link) = rp.reached else { continue };
+        // The probe always knows its own AS, independent of IP-to-AS.
+        tr_votes[rp.probe.us()].push(link);
+        for a in &rp.path {
+            if let Some(i) = topo.index_of(*a) {
+                if i != rp.probe {
+                    tr_votes[i.us()].push(link);
+                }
+            }
+        }
+    }
+
+    let mut catchments = Catchments::unassigned(n);
+    let mut observed = vec![false; n];
+    let mut multi = vec![false; n];
+    for i in 0..n {
+        let b = &bgp_votes[i];
+        let t = &tr_votes[i];
+        let assignment = if !b.is_empty() { majority(b) } else { majority(t) };
+        observed[i] = !b.is_empty() || !t.is_empty();
+        let mut distinct: Vec<LinkId> = b.iter().chain(t.iter()).copied().collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        multi[i] = distinct.len() > 1;
+        catchments.set(AsIndex(i as u32), assignment);
+    }
+    MeasuredCatchments {
+        catchments,
+        observed,
+        multi_catchment: multi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trackdown_topology::{topology_from_links, LinkKind};
+
+    fn topo3() -> Topology {
+        topology_from_links([
+            (Asn(1), Asn(2), LinkKind::ProviderCustomer),
+            (Asn(2), Asn(3), LinkKind::ProviderCustomer),
+        ])
+        .unwrap()
+    }
+
+    fn rp(probe: u32, path: &[u32], link: Option<LinkId>) -> RepairedPath {
+        RepairedPath {
+            probe: AsIndex(probe),
+            reached: link,
+            path: path.iter().map(|&x| Asn(x)).collect(),
+            ignored_hops: 0,
+            repaired_hops: 0,
+            ixp_hops: 0,
+        }
+    }
+
+    #[test]
+    fn majority_prefers_most_common_then_smallest() {
+        assert_eq!(majority(&[]), None);
+        assert_eq!(majority(&[LinkId(2)]), Some(LinkId(2)));
+        assert_eq!(
+            majority(&[LinkId(1), LinkId(2), LinkId(2)]),
+            Some(LinkId(2))
+        );
+        // Tie: smaller id wins.
+        assert_eq!(majority(&[LinkId(3), LinkId(1)]), Some(LinkId(1)));
+    }
+
+    #[test]
+    fn on_path_ases_inherit_the_ingress() {
+        let topo = topo3();
+        let obs = vec![BgpObservation {
+            feeder: AsIndex(2),
+            path: vec![Asn(3), Asn(2), Asn(1)],
+            ingress: LinkId(4),
+        }];
+        let m = combine_observations(&topo, &obs, &[]);
+        for i in 0..3 {
+            assert_eq!(m.catchments.get(AsIndex(i)), Some(LinkId(4)));
+            assert!(m.observed[i as usize]);
+            assert!(!m.multi_catchment[i as usize]);
+        }
+        assert_eq!(m.multi_catchment_rate(), 0.0);
+        assert_eq!(m.observed_count(), 3);
+    }
+
+    #[test]
+    fn bgp_priority_over_traceroute() {
+        let topo = topo3();
+        let obs = vec![BgpObservation {
+            feeder: AsIndex(0),
+            path: vec![Asn(1)],
+            ingress: LinkId(0),
+        }];
+        // Traceroute says AS1 is behind link 1 (e.g. via a mis-mapped hop).
+        let trs = vec![rp(2, &[3, 1], Some(LinkId(1)))];
+        let m = combine_observations(&topo, &obs, &trs);
+        let i1 = topo.index_of(Asn(1)).unwrap();
+        assert_eq!(m.catchments.get(i1), Some(LinkId(0)), "BGP wins");
+        assert!(m.multi_catchment[i1.us()]);
+        assert!(m.multi_catchment_rate() > 0.0);
+    }
+
+    #[test]
+    fn traceroute_majority_when_no_bgp() {
+        let topo = topo3();
+        let trs = vec![
+            rp(2, &[3, 2], Some(LinkId(0))),
+            rp(2, &[3, 2], Some(LinkId(0))),
+            rp(2, &[3, 2], Some(LinkId(1))),
+        ];
+        let m = combine_observations(&topo, &[], &trs);
+        let i2 = topo.index_of(Asn(2)).unwrap();
+        assert_eq!(m.catchments.get(i2), Some(LinkId(0)));
+        assert!(m.multi_catchment[i2.us()]);
+        // AS1 never observed.
+        let i1 = topo.index_of(Asn(1)).unwrap();
+        assert_eq!(m.catchments.get(i1), None);
+        assert!(!m.observed[i1.us()]);
+    }
+
+    #[test]
+    fn unreached_traceroutes_contribute_nothing() {
+        let topo = topo3();
+        let trs = vec![rp(2, &[3, 2, 1], None)];
+        let m = combine_observations(&topo, &[], &trs);
+        assert_eq!(m.observed_count(), 0);
+    }
+
+    #[test]
+    fn out_of_topology_asns_are_skipped() {
+        let topo = topo3();
+        let obs = vec![BgpObservation {
+            feeder: AsIndex(0),
+            path: vec![Asn(1), Asn(999_999)],
+            ingress: LinkId(0),
+        }];
+        let m = combine_observations(&topo, &obs, &[]);
+        assert_eq!(m.observed_count(), 1);
+    }
+}

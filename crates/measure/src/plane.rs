@@ -1,0 +1,234 @@
+//! The measurement plane: one object bundling vantage points, the IP-to-AS
+//! database, and traceroute fault parameters, turning a routing outcome
+//! into *measured* catchments the way the paper's pipeline does.
+
+use crate::mapping::{IpToAs, IpToAsConfig};
+use crate::observe::{collect_bgp_feeds, combine_observations, MeasuredCatchments};
+use crate::repair::repair_campaign;
+use crate::traceroute::{run_campaign, sample_probes, TracerouteConfig};
+use crate::vantage::{VantageConfig, VantagePoints};
+use serde::{Deserialize, Serialize};
+use trackdown_bgp::RoutingOutcome;
+use trackdown_topology::{cone::ConeInfo, Asn, Topology};
+
+/// Full measurement-plane configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MeasurementConfig {
+    /// Vantage-point sampling.
+    pub vantage: VantageConfig,
+    /// IP-to-AS database simulation.
+    pub ip_to_as: IpToAsConfig,
+    /// Traceroute fault injection.
+    pub traceroute: TracerouteConfig,
+    /// Optional cap on probes used per configuration (the paper was
+    /// limited to 1 600 RIPE Atlas probes). `None` = all probe ASes.
+    pub probe_budget: Option<usize>,
+}
+
+impl MeasurementConfig {
+    /// A perfect observation plane: every AS feeds a collector, no faults.
+    /// Useful to isolate algorithmic behaviour from measurement noise.
+    pub fn perfect() -> MeasurementConfig {
+        MeasurementConfig {
+            vantage: VantageConfig {
+                seed: 0,
+                bgp_feed_fraction: 1.0,
+                probe_fraction: 0.0,
+            },
+            ip_to_as: IpToAsConfig {
+                seed: 0,
+                dirty_as_fraction: 0.0,
+                mismap_prob: 0.0,
+                unmapped_prob: 0.0,
+            },
+            traceroute: TracerouteConfig {
+                seed: 0,
+                hop_unresponsive_prob: 0.0,
+                rounds: 1,
+                ixp_hop_prob: 0.0,
+            },
+            probe_budget: None,
+        }
+    }
+}
+
+/// A measurement plane bound to one topology.
+#[derive(Debug, Clone)]
+pub struct MeasurementPlane {
+    /// The selected vantage points.
+    pub vantage: VantagePoints,
+    db: IpToAs,
+    cfg: MeasurementConfig,
+}
+
+impl MeasurementPlane {
+    /// Build the plane (selects vantage points, materializes the IP-to-AS
+    /// model). Deterministic per configuration.
+    pub fn new(topo: &Topology, cones: &ConeInfo, cfg: &MeasurementConfig) -> MeasurementPlane {
+        MeasurementPlane {
+            vantage: VantagePoints::select(topo, cones, &cfg.vantage),
+            db: IpToAs::build(topo, &cfg.ip_to_as),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The measurement configuration in use.
+    pub fn config(&self) -> &MeasurementConfig {
+        &self.cfg
+    }
+
+    /// Measure catchments for one routing outcome. `config_salt` must be
+    /// unique per announcement configuration so fault patterns vary across
+    /// configurations but stay reproducible.
+    pub fn measure(
+        &self,
+        topo: &Topology,
+        outcome: &RoutingOutcome,
+        origin_asn: Asn,
+        config_salt: u64,
+    ) -> MeasuredCatchments {
+        let bgp = collect_bgp_feeds(topo, outcome, &self.vantage.bgp_feeders, origin_asn);
+        let probes = match self.cfg.probe_budget {
+            Some(budget) => sample_probes(&self.vantage.probe_ases, budget, config_salt ^ 0xB0),
+            None => self.vantage.probe_ases.clone(),
+        };
+        let campaign = run_campaign(
+            topo,
+            &self.db,
+            outcome,
+            &probes,
+            &self.cfg.traceroute,
+            config_salt,
+        );
+        let corpus: Vec<Vec<Asn>> = bgp.iter().map(|o| o.path.clone()).collect();
+        let repaired = repair_campaign(&campaign, &corpus);
+        combine_observations(topo, &bgp, &repaired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trackdown_bgp::{BgpEngine, Catchments, EngineConfig, LinkAnnouncement, OriginAs, PolicyConfig};
+    use trackdown_topology::gen::{generate, TopologyConfig};
+
+    fn clean_engine_cfg() -> EngineConfig {
+        EngineConfig {
+            policy: PolicyConfig {
+                seed: 2,
+                violator_fraction: 0.0,
+                no_loop_prevention_fraction: 0.0,
+                tier1_poison_filtering: false,
+            },
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn perfect_plane_reproduces_true_catchments() {
+        let g = generate(&TopologyConfig::small(13));
+        let cones = ConeInfo::compute(&g.topology);
+        let origin = OriginAs::peering_style(&g, 3);
+        let engine = BgpEngine::new(&g.topology, &clean_engine_cfg());
+        let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        let plane = MeasurementPlane::new(&g.topology, &cones, &MeasurementConfig::perfect());
+        let m = plane.measure(&g.topology, &out, origin.asn, 0);
+        let truth = Catchments::from_control_plane(&out);
+        assert_eq!(m.observed_count(), g.topology.num_ases());
+        assert_eq!(m.multi_catchment_rate(), 0.0);
+        for i in g.topology.indices() {
+            assert_eq!(m.catchments.get(i), truth.get(i), "AS index {i:?}");
+        }
+    }
+
+    #[test]
+    fn noisy_plane_still_mostly_correct() {
+        let g = generate(&TopologyConfig::medium(13));
+        let cones = ConeInfo::compute(&g.topology);
+        let origin = OriginAs::peering_style(&g, 4);
+        let engine = BgpEngine::new(&g.topology, &clean_engine_cfg());
+        let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        // Crank up the IP-to-AS dirtiness so the multi-catchment effect is
+        // reliably visible at this small scale (default rates can
+        // legitimately produce zero conflicts on short paths).
+        let mcfg = MeasurementConfig {
+            ip_to_as: IpToAsConfig {
+                dirty_as_fraction: 0.2,
+                ..IpToAsConfig::default()
+            },
+            ..MeasurementConfig::default()
+        };
+        let plane = MeasurementPlane::new(&g.topology, &cones, &mcfg);
+        let m = plane.measure(&g.topology, &out, origin.asn, 1);
+        let truth = Catchments::from_control_plane(&out);
+        let mut observed = 0usize;
+        let mut correct = 0usize;
+        for i in g.topology.indices() {
+            if let Some(link) = m.catchments.get(i) {
+                observed += 1;
+                if truth.get(i) == Some(link) {
+                    correct += 1;
+                }
+            }
+        }
+        // Coverage is partial, like the paper's 1 885-AS dataset versus
+        // the whole Internet; what matters is that observed sources are
+        // assigned accurately.
+        assert!(observed > g.topology.num_ases() / 4, "observed={observed}");
+        let accuracy = correct as f64 / observed as f64;
+        assert!(accuracy > 0.9, "accuracy={accuracy}");
+        // Noise produces at least some multi-catchment sources, like the
+        // paper's 2.28 %.
+        assert!(m.multi_catchment_rate() > 0.0);
+        assert!(m.multi_catchment_rate() < 0.2);
+    }
+
+    #[test]
+    fn measurement_is_deterministic_per_salt() {
+        let g = generate(&TopologyConfig::small(14));
+        let cones = ConeInfo::compute(&g.topology);
+        let origin = OriginAs::peering_style(&g, 3);
+        let engine = BgpEngine::new(&g.topology, &clean_engine_cfg());
+        let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        let plane = MeasurementPlane::new(&g.topology, &cones, &MeasurementConfig::default());
+        let a = plane.measure(&g.topology, &out, origin.asn, 5);
+        let b = plane.measure(&g.topology, &out, origin.asn, 5);
+        assert_eq!(a, b);
+        // Different salts change the raw fault pattern (repair and voting
+        // may still converge to the same catchments, which is the point of
+        // the pipeline — so compare the raw campaigns, not the result).
+        let probes = &plane.vantage.probe_ases;
+        let db = IpToAs::build(&g.topology, &plane.cfg.ip_to_as);
+        let c5 = run_campaign(&g.topology, &db, &out, probes, &plane.cfg.traceroute, 5);
+        let c6 = run_campaign(&g.topology, &db, &out, probes, &plane.cfg.traceroute, 6);
+        assert_ne!(c5, c6, "different salts should alter fault patterns");
+    }
+
+    #[test]
+    fn probe_budget_limits_campaign() {
+        let g = generate(&TopologyConfig::small(15));
+        let cones = ConeInfo::compute(&g.topology);
+        let origin = OriginAs::peering_style(&g, 3);
+        let engine = BgpEngine::new(&g.topology, &clean_engine_cfg());
+        let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        let mut cfg = MeasurementConfig {
+            vantage: VantageConfig {
+                seed: 2,
+                bgp_feed_fraction: 0.0,
+                probe_fraction: 1.0,
+            },
+            ..MeasurementConfig::default()
+        };
+        cfg.probe_budget = Some(5);
+        // Tier-1s still feed collectors; rely on traceroutes otherwise.
+        let plane = MeasurementPlane::new(&g.topology, &cones, &cfg);
+        let m = plane.measure(&g.topology, &out, origin.asn, 3);
+        // Coverage should be far from complete with just 5 probes (the
+        // tier-1 feeders cover the core, not every stub).
+        assert!(m.observed_count() < g.topology.num_ases());
+    }
+}

@@ -1,0 +1,396 @@
+//! Unresponsive-hop repair (§IV-b of the paper).
+//!
+//! > "In a traceroute measurement, if consecutive unresponsive hops are
+//! > surrounded by responsive ones, we check whether the surrounding hops
+//! > have a single sequence of responsive hops between them in other
+//! > traceroutes; if that is the case, we substitute the unresponsive hops
+//! > with the responsive ones. After this step, we map unresponsive hops
+//! > whose surrounding responsive hops map to a single AS a to the same
+//! > AS a. If surrounding hops map to different ASes, we check whether
+//! > public BGP feeds have a single sequence of ASes between them in
+//! > AS-paths; if that is the case, we substitute the unresponsive hops to
+//! > match the public AS-paths. If we still have unmapped or unresponsive
+//! > hops, we ignore those hops on the AS-level path."
+
+use crate::traceroute::Traceroute;
+use trackdown_bgp::LinkId;
+use trackdown_topology::{AsIndex, Asn};
+
+/// A traceroute after AS-level repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairedPath {
+    /// The probe's AS.
+    pub probe: AsIndex,
+    /// Origin-side ingress link observation.
+    pub reached: Option<LinkId>,
+    /// Repaired AS-level path (probe side first). May be missing ASes
+    /// where gaps could not be repaired.
+    pub path: Vec<Asn>,
+    /// Number of gap hops that had to be ignored (rule 4).
+    pub ignored_hops: usize,
+    /// Number of gap hops recovered by any repair rule.
+    pub repaired_hops: usize,
+    /// IXP-fabric hops stripped before repair (PeeringDB/traIXroute
+    /// cleanup: hops resolving to private IXP ASNs are fabric addresses
+    /// between two real AS hops, not AS-level hops).
+    pub ixp_hops: usize,
+}
+
+/// What an index knows about the responsive interiors seen between an
+/// ordered AS pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum InteriorEntry {
+    /// Exactly one distinct interior was observed (possibly empty).
+    Unique(Vec<Asn>),
+    /// Conflicting interiors were observed: repair must not apply.
+    Ambiguous,
+}
+
+/// Index of fully-responsive interiors between ordered AS pairs, built
+/// once per campaign so gap repair is an O(1) lookup instead of a scan of
+/// every other traceroute.
+#[derive(Debug, Default, Clone)]
+pub struct InteriorIndex {
+    map: std::collections::HashMap<(Asn, Asn), InteriorEntry>,
+}
+
+impl InteriorIndex {
+    fn add(&mut self, x: Asn, y: Asn, interior: &[Asn]) {
+        use std::collections::hash_map::Entry;
+        match self.map.entry((x, y)) {
+            Entry::Vacant(v) => {
+                v.insert(InteriorEntry::Unique(interior.to_vec()));
+            }
+            Entry::Occupied(mut o) => {
+                if let InteriorEntry::Unique(prev) = o.get() {
+                    if prev.as_slice() != interior {
+                        o.insert(InteriorEntry::Ambiguous);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Register every ordered pair within a fully-resolved AS sequence.
+    fn add_resolved_run(&mut self, run: &[Asn]) {
+        for i in 0..run.len() {
+            for j in (i + 1)..run.len() {
+                self.add(run[i], run[j], &run[i + 1..j]);
+            }
+        }
+    }
+
+    /// Build from observed traceroute sequences: only maximal responsive
+    /// runs contribute (a gap breaks the run).
+    pub fn from_sequences(seqs: &[Vec<Option<Asn>>]) -> InteriorIndex {
+        let mut idx = InteriorIndex::default();
+        for seq in seqs {
+            let mut run: Vec<Asn> = Vec::new();
+            for h in seq.iter().chain(std::iter::once(&None)) {
+                match h {
+                    Some(a) => run.push(*a),
+                    None => {
+                        if run.len() >= 2 {
+                            idx.add_resolved_run(&run);
+                        }
+                        run.clear();
+                    }
+                }
+            }
+        }
+        idx
+    }
+
+    /// Build from the fully-resolved BGP corpus.
+    pub fn from_paths(paths: &[Vec<Asn>]) -> InteriorIndex {
+        let mut idx = InteriorIndex::default();
+        for p in paths {
+            idx.add_resolved_run(p);
+        }
+        idx
+    }
+
+    /// The unique interior between `x` and `y`, if unambiguous.
+    fn unique(&self, x: Asn, y: Asn) -> Option<&[Asn]> {
+        match self.map.get(&(x, y)) {
+            Some(InteriorEntry::Unique(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+}
+
+/// Repair one observed sequence against prebuilt traceroute and BGP
+/// interior indexes. Returns `(path, ignored, repaired)`.
+fn repair_sequence_indexed(
+    seq: &[Option<Asn>],
+    tr_index: &InteriorIndex,
+    bgp_index: &InteriorIndex,
+) -> (Vec<Asn>, usize, usize) {
+    let mut out: Vec<Asn> = Vec::with_capacity(seq.len());
+    let mut ignored = 0usize;
+    let mut repaired = 0usize;
+    let mut i = 0usize;
+    while i < seq.len() {
+        match seq[i] {
+            Some(a) => {
+                if out.last() != Some(&a) {
+                    out.push(a);
+                }
+                i += 1;
+            }
+            None => {
+                // Maximal gap [i, j).
+                let mut j = i;
+                while j < seq.len() && seq[j].is_none() {
+                    j += 1;
+                }
+                let gap = j - i;
+                let before = out.last().copied();
+                let after = if j < seq.len() { seq[j] } else { None };
+                match (before, after) {
+                    (Some(x), Some(y)) => {
+                        // Rule 1: unique responsive interior in the
+                        // traceroute corpus.
+                        if let Some(int) = tr_index.unique(x, y).map(<[Asn]>::to_vec) {
+                            for a in &int {
+                                if out.last() != Some(a) {
+                                    out.push(*a);
+                                }
+                            }
+                            repaired += gap;
+                        } else if x == y {
+                            // Rule 2: surrounded by a single AS.
+                            repaired += gap;
+                        } else if let Some(int) = bgp_index.unique(x, y) {
+                            // Rule 3: unique interior in BGP paths.
+                            for a in int {
+                                if out.last() != Some(a) {
+                                    out.push(*a);
+                                }
+                            }
+                            repaired += gap;
+                        } else {
+                            // Rule 4: ignore the gap hops.
+                            ignored += gap;
+                        }
+                    }
+                    // Leading or trailing gap: nothing to anchor on.
+                    _ => ignored += gap,
+                }
+                i = j;
+            }
+        }
+    }
+    (out, ignored, repaired)
+}
+
+/// Repair a whole campaign. `bgp_paths` is the fully-resolved AS-path
+/// corpus from the collectors (probe-side first, origin side last, same
+/// orientation as traceroutes).
+pub fn repair_campaign(campaign: &[Traceroute], bgp_paths: &[Vec<Asn>]) -> Vec<RepairedPath> {
+    // PeeringDB/traIXroute step: hops resolving to private (IXP-fabric)
+    // ASNs are addresses on the exchange fabric between two genuine AS
+    // hops; strip them so the surrounding ASes become adjacent.
+    let mut ixp_counts = vec![0usize; campaign.len()];
+    let sequences: Vec<Vec<Option<Asn>>> = campaign
+        .iter()
+        .enumerate()
+        .map(|(k, t)| {
+            let mut seq = t.observed_sequence();
+            let before = seq.len();
+            seq.retain(|h| !matches!(h, Some(a) if a.is_private()));
+            ixp_counts[k] = before - seq.len();
+            seq
+        })
+        .collect();
+    // The interior indexes are built once over the whole campaign. A
+    // traceroute's own responsive runs may contribute to its repair, a
+    // harmless relaxation of the paper's "other traceroutes" (a gap never
+    // produces a responsive run for its own anchors).
+    let tr_index = InteriorIndex::from_sequences(&sequences);
+    let bgp_index = InteriorIndex::from_paths(bgp_paths);
+    campaign
+        .iter()
+        .zip(&sequences)
+        .zip(&ixp_counts)
+        .map(|((t, seq), &ixp_hops)| {
+            let (path, ignored_hops, repaired_hops) =
+                repair_sequence_indexed(seq, &tr_index, &bgp_index);
+            RepairedPath {
+                probe: t.probe,
+                reached: t.reached,
+                path,
+                ignored_hops,
+                repaired_hops,
+                ixp_hops,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(v: u32) -> Asn {
+        Asn(v)
+    }
+    fn s(v: u32) -> Option<Asn> {
+        Some(Asn(v))
+    }
+
+    /// Test helper matching the paper's description: repair `seq` against
+    /// explicit other traceroutes and a BGP corpus.
+    fn repair_sequence(
+        seq: &[Option<Asn>],
+        other_seqs: &[Vec<Option<Asn>>],
+        bgp_paths: &[Vec<Asn>],
+    ) -> (Vec<Asn>, usize, usize) {
+        let tr = InteriorIndex::from_sequences(other_seqs);
+        let bgp = InteriorIndex::from_paths(bgp_paths);
+        repair_sequence_indexed(seq, &tr, &bgp)
+    }
+
+    #[test]
+    fn rule1_unique_interior_from_other_traceroutes() {
+        let seq = vec![s(1), None, s(3)];
+        let others = vec![vec![s(1), s(2), s(3)]];
+        let (path, ignored, repaired) = repair_sequence(&seq, &others, &[]);
+        assert_eq!(path, vec![a(1), a(2), a(3)]);
+        assert_eq!(ignored, 0);
+        assert_eq!(repaired, 1);
+    }
+
+    #[test]
+    fn rule1_ambiguous_interiors_do_not_apply() {
+        let seq = vec![s(1), None, s(3)];
+        let others = vec![vec![s(1), s(2), s(3)], vec![s(1), s(9), s(3)]];
+        // Two different interiors: rule 1 fails, rule 2 fails (1≠3), rule 3
+        // has no corpus → gap ignored.
+        let (path, ignored, _) = repair_sequence(&seq, &others, &[]);
+        assert_eq!(path, vec![a(1), a(3)]);
+        assert_eq!(ignored, 1);
+    }
+
+    #[test]
+    fn rule2_same_surrounding_as() {
+        let seq = vec![s(1), None, None, s(1), s(4)];
+        let (path, ignored, repaired) = repair_sequence(&seq, &[], &[]);
+        assert_eq!(path, vec![a(1), a(4)]);
+        assert_eq!(ignored, 0);
+        assert_eq!(repaired, 2);
+    }
+
+    #[test]
+    fn rule3_bgp_interpolation() {
+        let seq = vec![s(1), None, s(3)];
+        let corpus = vec![vec![a(7), a(1), a(2), a(3), a(8)]];
+        let (path, ignored, repaired) = repair_sequence(&seq, &[], &corpus);
+        assert_eq!(path, vec![a(1), a(2), a(3)]);
+        assert_eq!(ignored, 0);
+        assert_eq!(repaired, 1);
+    }
+
+    #[test]
+    fn rule3_ambiguous_bgp_paths_do_not_apply() {
+        let seq = vec![s(1), None, s(3)];
+        let corpus = vec![vec![a(1), a(2), a(3)], vec![a(1), a(9), a(3)]];
+        let (path, ignored, _) = repair_sequence(&seq, &[], &corpus);
+        assert_eq!(path, vec![a(1), a(3)]);
+        assert_eq!(ignored, 1);
+    }
+
+    #[test]
+    fn rule_priority_traceroutes_before_bgp() {
+        // Other traceroutes say interior is [2]; BGP corpus says [9].
+        // Rule 1 wins.
+        let seq = vec![s(1), None, s(3)];
+        let others = vec![vec![s(1), s(2), s(3)]];
+        let corpus = vec![vec![a(1), a(9), a(3)]];
+        let (path, _, _) = repair_sequence(&seq, &others, &corpus);
+        assert_eq!(path, vec![a(1), a(2), a(3)]);
+    }
+
+    #[test]
+    fn leading_and_trailing_gaps_dropped() {
+        let seq = vec![None, s(1), s(2), None];
+        let (path, ignored, _) = repair_sequence(&seq, &[], &[]);
+        assert_eq!(path, vec![a(1), a(2)]);
+        assert_eq!(ignored, 2);
+    }
+
+    #[test]
+    fn empty_and_all_none_sequences() {
+        let (path, ignored, _) = repair_sequence(&[], &[], &[]);
+        assert!(path.is_empty());
+        assert_eq!(ignored, 0);
+        let (path, ignored, _) = repair_sequence(&[None, None], &[], &[]);
+        assert!(path.is_empty());
+        assert_eq!(ignored, 2);
+    }
+
+    #[test]
+    fn direct_adjacency_in_bgp_corpus_gives_empty_interior() {
+        // x and y adjacent in corpus → unique empty interior → gap closed
+        // with no AS inserted.
+        let seq = vec![s(1), None, s(3)];
+        let corpus = vec![vec![a(1), a(3)]];
+        let (path, ignored, repaired) = repair_sequence(&seq, &[], &corpus);
+        assert_eq!(path, vec![a(1), a(3)]);
+        assert_eq!(ignored, 0);
+        assert_eq!(repaired, 1);
+    }
+
+    #[test]
+    fn ixp_fabric_hops_are_stripped_and_bridged() {
+        use crate::traceroute::Hop;
+        use trackdown_topology::AsIndex;
+        let ixp = Asn(64512 + 7); // private-range fabric ASN
+        let t = Traceroute {
+            probe: AsIndex(0),
+            round: 0,
+            reached: Some(LinkId(0)),
+            hops: vec![
+                Hop { true_as: AsIndex(0), observed: s(1) },
+                Hop { true_as: AsIndex(1), observed: Some(ixp) },
+                Hop { true_as: AsIndex(1), observed: s(2) },
+            ],
+        };
+        let repaired = repair_campaign(&[t], &[]);
+        assert_eq!(repaired[0].path, vec![a(1), a(2)]);
+        assert_eq!(repaired[0].ixp_hops, 1);
+        assert_eq!(repaired[0].ignored_hops, 0);
+    }
+
+    #[test]
+    fn campaign_repair_uses_other_traceroutes() {
+        use trackdown_topology::AsIndex;
+        use crate::traceroute::Hop;
+        let t1 = Traceroute {
+            probe: AsIndex(0),
+            round: 0,
+            reached: Some(LinkId(0)),
+            hops: vec![
+                Hop { true_as: AsIndex(0), observed: s(1) },
+                Hop { true_as: AsIndex(1), observed: None },
+                Hop { true_as: AsIndex(2), observed: s(3) },
+            ],
+        };
+        let t2 = Traceroute {
+            probe: AsIndex(5),
+            round: 0,
+            reached: Some(LinkId(0)),
+            hops: vec![
+                Hop { true_as: AsIndex(0), observed: s(1) },
+                Hop { true_as: AsIndex(1), observed: s(2) },
+                Hop { true_as: AsIndex(2), observed: s(3) },
+            ],
+        };
+        let repaired = repair_campaign(&[t1, t2], &[]);
+        assert_eq!(repaired[0].path, vec![a(1), a(2), a(3)]);
+        assert_eq!(repaired[0].repaired_hops, 1);
+        assert_eq!(repaired[1].path, vec![a(1), a(2), a(3)]);
+        assert_eq!(repaired[1].repaired_hops, 0);
+    }
+}

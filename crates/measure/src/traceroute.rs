@@ -1,0 +1,397 @@
+//! Simulated traceroute campaigns (RIPE Atlas analog).
+//!
+//! A traceroute from a probe AS toward the experiment prefix walks the
+//! data-plane forwarding chain computed by the BGP engine. Per hop we
+//! inject the two error sources the paper's pipeline has to cope with
+//! (§IV-b): unresponsive hops (no reply) and IP-to-AS mis-mapping.
+//! Campaigns run several rounds per configuration — the paper keeps each
+//! configuration active long enough "to collect at least three rounds of
+//! traceroutes".
+
+use crate::mapping::IpToAs;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use trackdown_bgp::{LinkId, RoutingOutcome};
+use trackdown_topology::{AsIndex, Asn, Topology};
+
+/// Traceroute fault-injection parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracerouteConfig {
+    /// Seed mixed into every per-hop roll.
+    pub seed: u64,
+    /// Probability a hop does not answer (per probe, round, and hop).
+    pub hop_unresponsive_prob: f64,
+    /// Rounds of measurement per configuration (paper: ≥ 3).
+    pub rounds: usize,
+    /// Probability that a hop reached across a *peering* link answers
+    /// from the IXP fabric's address space instead of the AS's own — the
+    /// artifact PeeringDB/traIXroute data cleans up (§IV-b). The hop then
+    /// resolves to a private "IXP" ASN that repair strips.
+    pub ixp_hop_prob: f64,
+}
+
+impl Default for TracerouteConfig {
+    fn default() -> TracerouteConfig {
+        TracerouteConfig {
+            seed: 0x007e_ace0,
+            hop_unresponsive_prob: 0.08,
+            rounds: 3,
+            ixp_hop_prob: 0.3,
+        }
+    }
+}
+
+/// The deterministic private ASN an IXP fabric between two ASes resolves
+/// to (64512–65533, RFC 6996 private range).
+pub fn ixp_fabric_asn(a: AsIndex, b: AsIndex) -> Asn {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let h = crate::mix(((lo.0 as u64) << 32) | hi.0 as u64);
+    Asn(64512 + (h % 1022) as u32)
+}
+
+/// One AS-level hop of a traceroute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Ground-truth AS of the hop (never exposed to inference code; kept
+    /// for evaluation).
+    pub true_as: AsIndex,
+    /// ASN the hop resolved to, or `None` when unresponsive/unmapped.
+    pub observed: Option<Asn>,
+}
+
+/// One traceroute measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Traceroute {
+    /// The probe's AS.
+    pub probe: AsIndex,
+    /// Measurement round within the configuration.
+    pub round: usize,
+    /// The origin-side observation: which peering link the packets arrived
+    /// through, or `None` if the prefix was unreachable from the probe.
+    pub reached: Option<LinkId>,
+    /// AS-level hops, probe first, PoP provider last.
+    pub hops: Vec<Hop>,
+}
+
+impl Traceroute {
+    /// The observed AS sequence with consecutive duplicates collapsed
+    /// (router-level hops inside one AS appear as a single AS hop).
+    pub fn observed_sequence(&self) -> Vec<Option<Asn>> {
+        let mut out: Vec<Option<Asn>> = Vec::with_capacity(self.hops.len());
+        for h in &self.hops {
+            if out.last() != Some(&h.observed) || h.observed.is_none() {
+                out.push(h.observed);
+            }
+        }
+        out
+    }
+
+    /// Fraction of hops that produced an observation.
+    pub fn responsiveness(&self) -> f64 {
+        if self.hops.is_empty() {
+            return 0.0;
+        }
+        self.hops.iter().filter(|h| h.observed.is_some()).count() as f64
+            / self.hops.len() as f64
+    }
+}
+
+/// Run one traceroute. `config_salt` distinguishes announcement
+/// configurations so fault patterns differ between configurations but stay
+/// reproducible within one.
+pub fn run_traceroute(
+    topo: &Topology,
+    db: &IpToAs,
+    outcome: &RoutingOutcome,
+    probe: AsIndex,
+    round: usize,
+    cfg: &TracerouteConfig,
+    config_salt: u64,
+) -> Traceroute {
+    let walk = outcome.forwarding_walk(probe);
+    let (true_hops, reached) = match walk {
+        Some(w) => (w.hops, Some(w.link)),
+        None => (vec![probe], None),
+    };
+    let mut hops = Vec::with_capacity(true_hops.len());
+    for (pos, &h) in true_hops.iter().enumerate() {
+        let salt = crate::mix(
+            cfg.seed
+                ^ config_salt.rotate_left(17)
+                ^ ((probe.0 as u64) << 40)
+                ^ ((round as u64) << 28)
+                ^ ((pos as u64) << 20)
+                ^ h.0 as u64,
+        );
+        let unresponsive = ((salt % 100_000) as f64 / 100_000.0) < cfg.hop_unresponsive_prob;
+        let observed = if unresponsive {
+            None
+        } else {
+            // Hops entered over a peering link may answer from the IXP
+            // fabric's address space.
+            let over_peering = pos > 0
+                && topo.relationship(true_hops[pos - 1], h)
+                    == Some(trackdown_topology::NeighborKind::Peer);
+            let ixp_roll = (crate::mix(salt ^ 0x1c9) % 100_000) as f64 / 100_000.0;
+            if over_peering && ixp_roll < cfg.ixp_hop_prob {
+                Some(ixp_fabric_asn(true_hops[pos - 1], h))
+            } else {
+                db.resolve(topo, h, salt ^ 0xFACE).asn()
+            }
+        };
+        hops.push(Hop {
+            true_as: h,
+            observed,
+        });
+    }
+    Traceroute {
+        probe,
+        round,
+        reached,
+        hops,
+    }
+}
+
+/// Run a full campaign: every probe, every round, one configuration.
+pub fn run_campaign(
+    topo: &Topology,
+    db: &IpToAs,
+    outcome: &RoutingOutcome,
+    probes: &[AsIndex],
+    cfg: &TracerouteConfig,
+    config_salt: u64,
+) -> Vec<Traceroute> {
+    let mut out = Vec::with_capacity(probes.len() * cfg.rounds);
+    for &p in probes {
+        for round in 0..cfg.rounds {
+            out.push(run_traceroute(topo, db, outcome, p, round, cfg, config_salt));
+        }
+    }
+    out
+}
+
+/// Probe subsampling: the paper could only probe from 1 600 Atlas probes
+/// every 20 minutes; this helper deterministically samples a probe subset
+/// per configuration when a budget is set.
+pub fn sample_probes(probes: &[AsIndex], budget: usize, salt: u64) -> Vec<AsIndex> {
+    if probes.len() <= budget {
+        return probes.to_vec();
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(salt);
+    let mut pool = probes.to_vec();
+    // Partial Fisher-Yates: draw `budget` distinct probes.
+    for k in 0..budget {
+        let j = k + rng.random_range(0..pool.len() - k);
+        pool.swap(k, j);
+    }
+    pool.truncate(budget);
+    pool.sort_unstable();
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::IpToAsConfig;
+    use trackdown_bgp::{BgpEngine, EngineConfig, LinkAnnouncement, OriginAs, PolicyConfig};
+    use trackdown_topology::gen::{generate, TopologyConfig};
+
+    fn setup() -> (
+        trackdown_topology::gen::GeneratedTopology,
+        OriginAs,
+        RoutingOutcome,
+    ) {
+        let g = generate(&TopologyConfig::small(9));
+        let origin = OriginAs::peering_style(&g, 3);
+        let cfg = EngineConfig {
+            policy: PolicyConfig {
+                seed: 2,
+                violator_fraction: 0.0,
+                no_loop_prevention_fraction: 0.0,
+                tier1_poison_filtering: false,
+            },
+            ..EngineConfig::default()
+        };
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        (g, origin, out)
+    }
+
+    fn clean_db(topo: &Topology) -> IpToAs {
+        IpToAs::build(
+            topo,
+            &IpToAsConfig {
+                seed: 0,
+                dirty_as_fraction: 0.0,
+                mismap_prob: 0.0,
+                unmapped_prob: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn perfect_traceroute_matches_walk() {
+        let (g, _o, out) = setup();
+        let db = clean_db(&g.topology);
+        let cfg = TracerouteConfig {
+            seed: 1,
+            hop_unresponsive_prob: 0.0,
+            rounds: 1,
+            ixp_hop_prob: 0.0,
+        };
+        let probe = AsIndex(50);
+        let tr = run_traceroute(&g.topology, &db, &out, probe, 0, &cfg, 0);
+        let walk = out.forwarding_walk(probe).unwrap();
+        assert_eq!(tr.reached, Some(walk.link));
+        assert_eq!(tr.hops.len(), walk.hops.len());
+        for (h, w) in tr.hops.iter().zip(&walk.hops) {
+            assert_eq!(h.observed, Some(g.topology.asn_of(*w)));
+        }
+        assert!((tr.responsiveness() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unresponsive_hops_appear_at_configured_rate() {
+        let (g, _o, out) = setup();
+        let db = clean_db(&g.topology);
+        let cfg = TracerouteConfig {
+            seed: 5,
+            hop_unresponsive_prob: 0.25,
+            rounds: 3,
+            ixp_hop_prob: 0.0,
+        };
+        let probes: Vec<AsIndex> = g.topology.indices().collect();
+        let campaign = run_campaign(&g.topology, &db, &out, &probes, &cfg, 7);
+        let total: usize = campaign.iter().map(|t| t.hops.len()).sum();
+        let missing: usize = campaign
+            .iter()
+            .flat_map(|t| &t.hops)
+            .filter(|h| h.observed.is_none())
+            .count();
+        let rate = missing as f64 / total as f64;
+        assert!((0.2..0.3).contains(&rate), "rate={rate}");
+    }
+
+    #[test]
+    fn traceroutes_are_deterministic() {
+        let (g, _o, out) = setup();
+        let db = clean_db(&g.topology);
+        let cfg = TracerouteConfig::default();
+        let a = run_traceroute(&g.topology, &db, &out, AsIndex(10), 1, &cfg, 3);
+        let b = run_traceroute(&g.topology, &db, &out, AsIndex(10), 1, &cfg, 3);
+        assert_eq!(a, b);
+        // Different rounds see different fault patterns (almost surely
+        // for some probe when unresponsiveness is high).
+        let cfg_noisy = TracerouteConfig {
+            seed: 5,
+            hop_unresponsive_prob: 0.5,
+            rounds: 1,
+            ixp_hop_prob: 0.0,
+        };
+        let differs = g.topology.indices().any(|p| {
+            let x = run_traceroute(&g.topology, &db, &out, p, 0, &cfg_noisy, 3);
+            let y = run_traceroute(&g.topology, &db, &out, p, 1, &cfg_noisy, 3);
+            x.hops != y.hops
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn unreachable_probe_reports_no_link() {
+        let (g, origin, _out) = setup();
+        let db = clean_db(&g.topology);
+        // Propagate with zero announcements: nothing reachable.
+        let engine = BgpEngine::new(&g.topology, &EngineConfig::default());
+        let empty = engine.propagate_config(&origin, &[], 200).unwrap();
+        let tr = run_traceroute(
+            &g.topology,
+            &db,
+            &empty,
+            AsIndex(3),
+            0,
+            &TracerouteConfig::default(),
+            0,
+        );
+        assert_eq!(tr.reached, None);
+        assert_eq!(tr.hops.len(), 1);
+    }
+
+    #[test]
+    fn observed_sequence_collapses_duplicates() {
+        let tr = Traceroute {
+            probe: AsIndex(0),
+            round: 0,
+            reached: None,
+            hops: vec![
+                Hop { true_as: AsIndex(0), observed: Some(Asn(1)) },
+                Hop { true_as: AsIndex(0), observed: Some(Asn(1)) },
+                Hop { true_as: AsIndex(1), observed: None },
+                Hop { true_as: AsIndex(2), observed: None },
+                Hop { true_as: AsIndex(3), observed: Some(Asn(4)) },
+            ],
+        };
+        assert_eq!(
+            tr.observed_sequence(),
+            vec![Some(Asn(1)), None, None, Some(Asn(4))]
+        );
+    }
+
+    #[test]
+    fn ixp_hops_appear_on_peering_crossings() {
+        use trackdown_topology::NeighborKind;
+        let (g, _o, out) = setup();
+        let db = clean_db(&g.topology);
+        let cfg = TracerouteConfig {
+            seed: 2,
+            hop_unresponsive_prob: 0.0,
+            rounds: 1,
+            ixp_hop_prob: 1.0,
+        };
+        let mut ixp_seen = 0usize;
+        let mut peer_crossings = 0usize;
+        for p in g.topology.indices() {
+            let tr = run_traceroute(&g.topology, &db, &out, p, 0, &cfg, 0);
+            let Some(walk) = out.forwarding_walk(p) else { continue };
+            for (pos, h) in tr.hops.iter().enumerate() {
+                let crossed_peer = pos > 0
+                    && g.topology.relationship(walk.hops[pos - 1], walk.hops[pos])
+                        == Some(NeighborKind::Peer);
+                if crossed_peer {
+                    peer_crossings += 1;
+                    let a = h.observed.expect("responsive");
+                    assert!(a.is_private(), "peer crossing must yield IXP ASN");
+                    assert_eq!(a, ixp_fabric_asn(walk.hops[pos - 1], walk.hops[pos]));
+                    ixp_seen += 1;
+                } else if let Some(a) = h.observed {
+                    assert!(!a.is_private(), "non-peering hop resolved to IXP");
+                }
+            }
+        }
+        assert!(ixp_seen > 0, "no peering crossings exercised ({peer_crossings})");
+    }
+
+    #[test]
+    fn ixp_fabric_asn_is_symmetric_and_private() {
+        let a = ixp_fabric_asn(AsIndex(3), AsIndex(9));
+        let b = ixp_fabric_asn(AsIndex(9), AsIndex(3));
+        assert_eq!(a, b);
+        assert!(a.is_private());
+    }
+
+    #[test]
+    fn probe_sampling_respects_budget() {
+        let probes: Vec<AsIndex> = (0..100).map(AsIndex).collect();
+        let s = sample_probes(&probes, 10, 42);
+        assert_eq!(s.len(), 10);
+        let s2 = sample_probes(&probes, 10, 42);
+        assert_eq!(s, s2);
+        let all = sample_probes(&probes, 1000, 42);
+        assert_eq!(all.len(), 100);
+        // Distinct members.
+        let mut d = s.clone();
+        d.dedup();
+        assert_eq!(d.len(), s.len());
+    }
+}

@@ -1,0 +1,160 @@
+//! Vantage points: where the origin can observe routing from.
+//!
+//! The paper measures catchments with two source types (§IV-b):
+//!
+//! * **BGP feeds** — RouteViews and RIPE RIS collectors receiving full
+//!   tables from a set of peer ASes ("all public BGP feeds");
+//! * **Traceroute probes** — 1 600 RIPE Atlas probes issuing traceroutes
+//!   toward the PEERING prefixes every 20 minutes.
+//!
+//! We model both as seeded samples of ASes: BGP feeders are biased toward
+//! large-cone networks (all tier-1s feed collectors, as in the paper's
+//! dataset), probe ASes are sampled uniformly (Atlas probes sit mostly in
+//! edge networks).
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use trackdown_topology::{cone::ConeInfo, AsIndex, Topology};
+
+/// Sampling parameters for the observation plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VantageConfig {
+    /// Seed for vantage selection.
+    pub seed: u64,
+    /// Fraction of ASes exporting their Loc-RIB to collectors, beyond the
+    /// always-included tier-1s. Cone-weighted.
+    pub bgp_feed_fraction: f64,
+    /// Fraction of ASes hosting traceroute probes, sampled uniformly.
+    pub probe_fraction: f64,
+}
+
+impl Default for VantageConfig {
+    fn default() -> VantageConfig {
+        VantageConfig {
+            seed: 0x7a97_a9e5,
+            bgp_feed_fraction: 0.06,
+            probe_fraction: 0.25,
+        }
+    }
+}
+
+/// The selected observation points.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VantagePoints {
+    /// ASes whose best route reaches public BGP collectors.
+    pub bgp_feeders: Vec<AsIndex>,
+    /// ASes hosting traceroute probes.
+    pub probe_ases: Vec<AsIndex>,
+}
+
+impl VantagePoints {
+    /// Select vantage points over a topology.
+    ///
+    /// All tier-1 ASes feed collectors (as in the paper's dataset:
+    /// "including all Tier-1 ASes"); further feeders are sampled with
+    /// probability scaled by customer-cone size.
+    pub fn select(topo: &Topology, cones: &ConeInfo, cfg: &VantageConfig) -> VantagePoints {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let max_cone = topo
+            .indices()
+            .map(|i| cones.cone_size(i))
+            .max()
+            .unwrap_or(1) as f64;
+        let mut bgp_feeders = Vec::new();
+        let mut probe_ases = Vec::new();
+        for i in topo.indices() {
+            if cones.is_tier1(i) {
+                bgp_feeders.push(i);
+            } else {
+                // Cone-size weighting: a pure stub has the base probability,
+                // the biggest transit is ~5x more likely to feed a collector.
+                let weight = 1.0 + 4.0 * (cones.cone_size(i) as f64 / max_cone);
+                if rng.random::<f64>() < cfg.bgp_feed_fraction * weight {
+                    bgp_feeders.push(i);
+                }
+            }
+            if rng.random::<f64>() < cfg.probe_fraction {
+                probe_ases.push(i);
+            }
+        }
+        VantagePoints {
+            bgp_feeders,
+            probe_ases,
+        }
+    }
+
+    /// Total number of distinct vantage ASes.
+    pub fn coverage(&self) -> usize {
+        let mut all: Vec<AsIndex> = self
+            .bgp_feeders
+            .iter()
+            .chain(self.probe_ases.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trackdown_topology::gen::{generate, TopologyConfig};
+
+    #[test]
+    fn selection_is_deterministic() {
+        let g = generate(&TopologyConfig::small(2));
+        let cones = ConeInfo::compute(&g.topology);
+        let cfg = VantageConfig::default();
+        let a = VantagePoints::select(&g.topology, &cones, &cfg);
+        let b = VantagePoints::select(&g.topology, &cones, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tier1s_always_feed_collectors() {
+        let g = generate(&TopologyConfig::small(3));
+        let cones = ConeInfo::compute(&g.topology);
+        let v = VantagePoints::select(
+            &g.topology,
+            &cones,
+            &VantageConfig {
+                seed: 1,
+                bgp_feed_fraction: 0.0,
+                probe_fraction: 0.0,
+            },
+        );
+        let tier1s: Vec<AsIndex> = cones.tier1s().collect();
+        assert_eq!(v.bgp_feeders, tier1s);
+        assert!(v.probe_ases.is_empty());
+    }
+
+    #[test]
+    fn fractions_scale_counts() {
+        let g = generate(&TopologyConfig::medium(4));
+        let cones = ConeInfo::compute(&g.topology);
+        let lo = VantagePoints::select(
+            &g.topology,
+            &cones,
+            &VantageConfig {
+                seed: 9,
+                bgp_feed_fraction: 0.02,
+                probe_fraction: 0.1,
+            },
+        );
+        let hi = VantagePoints::select(
+            &g.topology,
+            &cones,
+            &VantageConfig {
+                seed: 9,
+                bgp_feed_fraction: 0.2,
+                probe_fraction: 0.5,
+            },
+        );
+        assert!(hi.bgp_feeders.len() > lo.bgp_feeders.len());
+        assert!(hi.probe_ases.len() > lo.probe_ases.len());
+        assert!(hi.coverage() >= hi.probe_ases.len());
+    }
+}

@@ -1,0 +1,245 @@
+//! AS-relationship inference from an AS-path corpus (Gao's algorithm,
+//! simplified).
+//!
+//! §VI of the paper argues its announcement techniques can "significantly
+//! speed up (and scale) inference of routing policies" because every
+//! configuration contributes new, different paths. This module implements
+//! the classic degree-based inference of Gao \[35\] so that claim can be
+//! evaluated on this stack's datasets: given observed AS-level paths,
+//! guess which adjacent pairs are provider↔customer and which are peers.
+//!
+//! Algorithm per path: the highest-degree AS on the path is its *top
+//! provider*; every edge before it is inferred customer→provider (uphill)
+//! and every edge after it provider→customer (downhill). Votes are
+//! aggregated over the corpus; edges with substantial votes in both
+//! directions become peer links.
+
+use crate::{Asn, LinkKind, NeighborKind, Topology};
+use std::collections::HashMap;
+
+/// One inferred adjacency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferredLink {
+    /// First endpoint (provider side for P2C; lower ASN for P2P).
+    pub a: Asn,
+    /// Second endpoint.
+    pub b: Asn,
+    /// Inferred relationship.
+    pub kind: LinkKind,
+    /// Paths that voted for this edge (confidence proxy).
+    pub votes: u32,
+}
+
+/// Inference tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceParams {
+    /// An edge is peer-to-peer when the minority direction holds at least
+    /// this fraction of its votes (Gao's L parameter analog).
+    pub peer_vote_ratio: f64,
+}
+
+impl Default for InferenceParams {
+    fn default() -> InferenceParams {
+        InferenceParams {
+            peer_vote_ratio: 0.35,
+        }
+    }
+}
+
+/// Infer relationships from a corpus of AS-level paths (each ordered
+/// source-first, destination-last; duplicate consecutive entries are
+/// tolerated and collapsed).
+pub fn infer_relationships(paths: &[Vec<Asn>], params: &InferenceParams) -> Vec<InferredLink> {
+    // Pass 1: degrees from observed adjacencies.
+    let mut degree: HashMap<Asn, u32> = HashMap::new();
+    let mut seen_edges: HashMap<(Asn, Asn), ()> = HashMap::new();
+    let collapse = |p: &[Asn]| -> Vec<Asn> {
+        let mut out: Vec<Asn> = Vec::with_capacity(p.len());
+        for &a in p {
+            if out.last() != Some(&a) {
+                out.push(a);
+            }
+        }
+        out
+    };
+    let cleaned: Vec<Vec<Asn>> = paths.iter().map(|p| collapse(p)).collect();
+    for p in &cleaned {
+        for w in p.windows(2) {
+            let key = if w[0] <= w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+            if seen_edges.insert(key, ()).is_none() {
+                *degree.entry(w[0]).or_insert(0) += 1;
+                *degree.entry(w[1]).or_insert(0) += 1;
+            }
+        }
+    }
+    // Pass 2: uphill/downhill votes split at the top provider.
+    // votes[(x, y)] = times x appeared as the customer of y.
+    let mut customer_votes: HashMap<(Asn, Asn), u32> = HashMap::new();
+    for p in &cleaned {
+        if p.len() < 2 {
+            continue;
+        }
+        let top = (0..p.len())
+            .max_by_key(|&k| (degree.get(&p[k]).copied().unwrap_or(0), usize::MAX - k))
+            .expect("non-empty");
+        for (k, w) in p.windows(2).enumerate() {
+            // Edge between positions k and k+1.
+            if k < top {
+                // Uphill: w[0] is a customer of w[1].
+                *customer_votes.entry((w[0], w[1])).or_insert(0) += 1;
+            } else {
+                // Downhill: w[1] is a customer of w[0].
+                *customer_votes.entry((w[1], w[0])).or_insert(0) += 1;
+            }
+        }
+    }
+    // Aggregate per undirected edge.
+    let mut out = Vec::new();
+    for &(x, y) in seen_edges.keys() {
+        let xy = customer_votes.get(&(x, y)).copied().unwrap_or(0); // x customer of y
+        let yx = customer_votes.get(&(y, x)).copied().unwrap_or(0); // y customer of x
+        let total = xy + yx;
+        if total == 0 {
+            continue;
+        }
+        let minority = xy.min(yx) as f64 / total as f64;
+        let link = if minority >= params.peer_vote_ratio {
+            InferredLink {
+                a: x.min(y),
+                b: x.max(y),
+                kind: LinkKind::PeerPeer,
+                votes: total,
+            }
+        } else if xy > yx {
+            // x is customer of y: provider side is y.
+            InferredLink {
+                a: y,
+                b: x,
+                kind: LinkKind::ProviderCustomer,
+                votes: total,
+            }
+        } else {
+            InferredLink {
+                a: x,
+                b: y,
+                kind: LinkKind::ProviderCustomer,
+                votes: total,
+            }
+        };
+        out.push(link);
+    }
+    out.sort_by_key(|l| (l.a, l.b));
+    out
+}
+
+/// Accuracy of inferred links against a ground-truth topology: returns
+/// `(evaluated, exact_matches)` over the inferred links whose endpoints
+/// are adjacent in the truth.
+pub fn score_inference(topo: &Topology, inferred: &[InferredLink]) -> (usize, usize) {
+    let mut evaluated = 0usize;
+    let mut correct = 0usize;
+    for l in inferred {
+        let (Some(ia), Some(ib)) = (topo.index_of(l.a), topo.index_of(l.b)) else {
+            continue;
+        };
+        let Some(rel) = topo.relationship(ia, ib) else {
+            continue;
+        };
+        evaluated += 1;
+        let matches = match l.kind {
+            // Inferred a as provider of b: truth must see b as a's customer.
+            LinkKind::ProviderCustomer => rel == NeighborKind::Customer,
+            LinkKind::PeerPeer => rel == NeighborKind::Peer,
+        };
+        if matches {
+            correct += 1;
+        }
+    }
+    (evaluated, correct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology_from_links;
+
+    fn paths(raw: &[&[u32]]) -> Vec<Vec<Asn>> {
+        raw.iter()
+            .map(|p| p.iter().map(|&x| Asn(x)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn infers_simple_hierarchy() {
+        // Star: AS1 is the high-degree core; stubs 2, 3, 4 below it.
+        // Paths go stub -> core -> stub (valley-free through the provider).
+        let corpus = paths(&[
+            &[2, 1, 3],
+            &[3, 1, 4],
+            &[4, 1, 2],
+            &[2, 1, 4],
+        ]);
+        let inferred = infer_relationships(&corpus, &InferenceParams::default());
+        assert_eq!(inferred.len(), 3);
+        for l in &inferred {
+            assert_eq!(l.kind, LinkKind::ProviderCustomer);
+            assert_eq!(l.a, Asn(1), "core must be the provider: {l:?}");
+        }
+    }
+
+    #[test]
+    fn infers_peering_between_equal_tops() {
+        // Two cores 1 and 2 peer; their stubs route through both.
+        let corpus = paths(&[
+            &[10, 1, 2, 20],
+            &[20, 2, 1, 10],
+            &[11, 1, 2, 21],
+            &[21, 2, 1, 11],
+        ]);
+        let inferred = infer_relationships(&corpus, &InferenceParams::default());
+        let core_link = inferred
+            .iter()
+            .find(|l| (l.a, l.b) == (Asn(1), Asn(2)))
+            .expect("core link inferred");
+        assert_eq!(core_link.kind, LinkKind::PeerPeer);
+        // Stub links are customer links under their core.
+        for l in &inferred {
+            if l.b.0 >= 10 {
+                assert_eq!(l.kind, LinkKind::ProviderCustomer);
+            }
+        }
+    }
+
+    #[test]
+    fn collapses_prepending() {
+        let corpus = paths(&[&[2, 2, 2, 1, 3], &[3, 1, 1, 2]]);
+        let inferred = infer_relationships(&corpus, &InferenceParams::default());
+        assert!(!inferred.is_empty());
+        for l in &inferred {
+            assert_ne!(l.a, l.b);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_paths_are_ignored() {
+        let corpus = paths(&[&[], &[7]]);
+        assert!(infer_relationships(&corpus, &InferenceParams::default()).is_empty());
+    }
+
+    #[test]
+    fn scoring_against_ground_truth() {
+        let topo = topology_from_links([
+            (Asn(1), Asn(2), LinkKind::ProviderCustomer),
+            (Asn(1), Asn(3), LinkKind::ProviderCustomer),
+        ])
+        .unwrap();
+        let inferred = vec![
+            InferredLink { a: Asn(1), b: Asn(2), kind: LinkKind::ProviderCustomer, votes: 3 },
+            InferredLink { a: Asn(3), b: Asn(1), kind: LinkKind::ProviderCustomer, votes: 2 }, // inverted
+            InferredLink { a: Asn(1), b: Asn(9), kind: LinkKind::PeerPeer, votes: 1 }, // unknown AS
+        ];
+        let (evaluated, correct) = score_inference(&topo, &inferred);
+        assert_eq!(evaluated, 2);
+        assert_eq!(correct, 1);
+    }
+}

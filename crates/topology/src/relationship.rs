@@ -1,0 +1,210 @@
+//! Business relationships between Autonomous Systems.
+//!
+//! Inter-AS links carry one of the two standard CAIDA relationship kinds:
+//! customer-to-provider (the customer pays the provider for transit) or
+//! peer-to-peer (settlement-free exchange of each other's customer cones).
+//! The relationship determines both route *preference* (Gao-Rexford
+//! LocalPref) and route *export* rules (valley-free routing).
+
+use crate::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The role a neighbor plays from the perspective of a given AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NeighborKind {
+    /// The neighbor is our customer: it pays us, we carry its traffic
+    /// anywhere. Routes learned from customers are the most preferred and
+    /// are exported to everyone.
+    Customer,
+    /// The neighbor is a settlement-free peer. Routes learned from peers are
+    /// exported only to customers.
+    Peer,
+    /// The neighbor is our provider: we pay it for transit. Routes learned
+    /// from providers are the least preferred and are exported only to
+    /// customers.
+    Provider,
+}
+
+impl NeighborKind {
+    /// The same link seen from the other side.
+    pub fn reverse(self) -> NeighborKind {
+        match self {
+            NeighborKind::Customer => NeighborKind::Provider,
+            NeighborKind::Peer => NeighborKind::Peer,
+            NeighborKind::Provider => NeighborKind::Customer,
+        }
+    }
+
+    /// Gao-Rexford preference rank: higher is preferred.
+    /// Customer routes (3) > peer routes (2) > provider routes (1).
+    pub fn preference_rank(self) -> u8 {
+        match self {
+            NeighborKind::Customer => 3,
+            NeighborKind::Peer => 2,
+            NeighborKind::Provider => 1,
+        }
+    }
+}
+
+impl fmt::Display for NeighborKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NeighborKind::Customer => "customer",
+            NeighborKind::Peer => "peer",
+            NeighborKind::Provider => "provider",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An undirected inter-AS link annotated with its business relationship.
+///
+/// Stored in canonical form: for provider-customer links, `a` is the
+/// provider and `b` the customer; for peering links, `a < b` numerically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// Provider side (P2C) or lower-numbered AS (P2P).
+    pub a: Asn,
+    /// Customer side (P2C) or higher-numbered AS (P2P).
+    pub b: Asn,
+    /// Relationship kind, from `a`'s perspective toward `b`.
+    pub kind: LinkKind,
+}
+
+/// Relationship carried by a [`Link`], matching CAIDA `as-rel` semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// `a` is the provider of `b` (CAIDA code `-1`).
+    ProviderCustomer,
+    /// `a` and `b` are settlement-free peers (CAIDA code `0`).
+    PeerPeer,
+}
+
+impl LinkKind {
+    /// CAIDA serialization code: `-1` for p2c, `0` for p2p.
+    pub fn caida_code(self) -> i8 {
+        match self {
+            LinkKind::ProviderCustomer => -1,
+            LinkKind::PeerPeer => 0,
+        }
+    }
+
+    /// Parse a CAIDA relationship code.
+    pub fn from_caida_code(code: i8) -> Option<LinkKind> {
+        match code {
+            -1 => Some(LinkKind::ProviderCustomer),
+            0 => Some(LinkKind::PeerPeer),
+            _ => None,
+        }
+    }
+}
+
+impl Link {
+    /// Build a canonical link where `provider` serves `customer`.
+    pub fn provider_customer(provider: Asn, customer: Asn) -> Link {
+        Link {
+            a: provider,
+            b: customer,
+            kind: LinkKind::ProviderCustomer,
+        }
+    }
+
+    /// Build a canonical peering link (endpoint order is normalized).
+    pub fn peering(x: Asn, y: Asn) -> Link {
+        let (a, b) = if x <= y { (x, y) } else { (y, x) };
+        Link {
+            a,
+            b,
+            kind: LinkKind::PeerPeer,
+        }
+    }
+
+    /// How `of` sees the other endpoint, or `None` if `of` is not an
+    /// endpoint of this link.
+    pub fn kind_for(&self, of: Asn) -> Option<NeighborKind> {
+        match self.kind {
+            LinkKind::ProviderCustomer => {
+                if of == self.a {
+                    Some(NeighborKind::Customer) // a is provider; b is a's customer
+                } else if of == self.b {
+                    Some(NeighborKind::Provider)
+                } else {
+                    None
+                }
+            }
+            LinkKind::PeerPeer => {
+                if of == self.a || of == self.b {
+                    Some(NeighborKind::Peer)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The endpoint that is not `of`, if `of` is an endpoint.
+    pub fn other(&self, of: Asn) -> Option<Asn> {
+        if of == self.a {
+            Some(self.b)
+        } else if of == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_is_involution() {
+        for k in [
+            NeighborKind::Customer,
+            NeighborKind::Peer,
+            NeighborKind::Provider,
+        ] {
+            assert_eq!(k.reverse().reverse(), k);
+        }
+    }
+
+    #[test]
+    fn preference_ordering() {
+        assert!(
+            NeighborKind::Customer.preference_rank() > NeighborKind::Peer.preference_rank()
+        );
+        assert!(NeighborKind::Peer.preference_rank() > NeighborKind::Provider.preference_rank());
+    }
+
+    #[test]
+    fn link_kind_for_p2c() {
+        let l = Link::provider_customer(Asn(10), Asn(20));
+        // From the provider's perspective, AS20 is its customer.
+        assert_eq!(l.kind_for(Asn(10)), Some(NeighborKind::Customer));
+        // From the customer's perspective, AS10 is its provider.
+        assert_eq!(l.kind_for(Asn(20)), Some(NeighborKind::Provider));
+        assert_eq!(l.kind_for(Asn(30)), None);
+    }
+
+    #[test]
+    fn link_kind_for_p2p_and_normalization() {
+        let l = Link::peering(Asn(50), Asn(5));
+        assert_eq!(l.a, Asn(5));
+        assert_eq!(l.b, Asn(50));
+        assert_eq!(l.kind_for(Asn(5)), Some(NeighborKind::Peer));
+        assert_eq!(l.kind_for(Asn(50)), Some(NeighborKind::Peer));
+        assert_eq!(l.other(Asn(5)), Some(Asn(50)));
+        assert_eq!(l.other(Asn(50)), Some(Asn(5)));
+        assert_eq!(l.other(Asn(7)), None);
+    }
+
+    #[test]
+    fn caida_codes_roundtrip() {
+        for k in [LinkKind::ProviderCustomer, LinkKind::PeerPeer] {
+            assert_eq!(LinkKind::from_caida_code(k.caida_code()), Some(k));
+        }
+        assert_eq!(LinkKind::from_caida_code(7), None);
+    }
+}

@@ -1,0 +1,111 @@
+//! Volume attribution: from per-AS spoofed volume to per-link and
+//! per-cluster aggregates (feeds Figure 10).
+
+use trackdown_bgp::{Catchments, LinkId};
+use trackdown_topology::AsIndex;
+
+/// Aggregate per-AS volumes onto peering links through the catchments.
+pub fn volume_per_link(
+    catchments: &Catchments,
+    volume_per_as: &[u64],
+    num_links: usize,
+) -> Vec<u64> {
+    let mut out = vec![0u64; num_links];
+    for (i, &v) in volume_per_as.iter().enumerate() {
+        if v == 0 {
+            continue;
+        }
+        if let Some(link) = catchments.get(AsIndex(i as u32)) {
+            out[link.us()] += v;
+        }
+    }
+    out
+}
+
+/// The link carrying the most volume, ties toward the lower id.
+pub fn hottest(volumes: &[u64]) -> Option<LinkId> {
+    volumes
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| **v > 0)
+        .max_by_key(|(i, v)| (**v, usize::MAX - *i))
+        .map(|(i, _)| LinkId(i as u8))
+}
+
+/// Figure 10 series: cumulative fraction of total volume originated from
+/// clusters of size ≤ x, returned as ascending `(cluster_size,
+/// cumulative_fraction)` points.
+///
+/// `clusters` partition (a subset of) the AS space; volume from ASes not
+/// covered by any cluster is excluded from the total.
+pub fn cumulative_volume_by_cluster_size(
+    clusters: &[Vec<AsIndex>],
+    volume_per_as: &[u64],
+) -> Vec<(usize, f64)> {
+    let mut per_size: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+    let mut total = 0u64;
+    for cluster in clusters {
+        let v: u64 = cluster
+            .iter()
+            .map(|a| volume_per_as.get(a.us()).copied().unwrap_or(0))
+            .sum();
+        total += v;
+        *per_size.entry(cluster.len()).or_insert(0) += v;
+    }
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(per_size.len());
+    let mut acc = 0u64;
+    for (size, v) in per_size {
+        acc += v;
+        out.push((size, acc as f64 / total as f64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_link_aggregation() {
+        let mut c = Catchments::unassigned(4);
+        c.set(AsIndex(0), Some(LinkId(0)));
+        c.set(AsIndex(1), Some(LinkId(2)));
+        c.set(AsIndex(2), Some(LinkId(2)));
+        let v = volume_per_link(&c, &[10, 20, 30, 40], 3);
+        assert_eq!(v, vec![10, 0, 50]); // AS3's 40 is unattributed
+        assert_eq!(hottest(&v), Some(LinkId(2)));
+        assert_eq!(hottest(&[0, 0]), None);
+    }
+
+    #[test]
+    fn cumulative_series_is_monotone_and_ends_at_one() {
+        let clusters = vec![
+            vec![AsIndex(0)],                         // size 1, vol 5
+            vec![AsIndex(1), AsIndex(2)],             // size 2, vol 15
+            vec![AsIndex(3), AsIndex(4), AsIndex(5)], // size 3, vol 0
+        ];
+        let vols = [5u64, 10, 5, 0, 0, 0];
+        let series = cumulative_volume_by_cluster_size(&clusters, &vols);
+        assert_eq!(series, vec![(1, 0.25), (2, 1.0), (3, 1.0)]);
+        for w in series.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn same_size_clusters_merge() {
+        let clusters = vec![vec![AsIndex(0)], vec![AsIndex(1)]];
+        let vols = [1u64, 3];
+        let series = cumulative_volume_by_cluster_size(&clusters, &vols);
+        assert_eq!(series, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn zero_volume_yields_empty_series() {
+        let clusters = vec![vec![AsIndex(0)]];
+        assert!(cumulative_volume_by_cluster_size(&clusters, &[0]).is_empty());
+    }
+}

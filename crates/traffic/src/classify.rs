@@ -1,0 +1,201 @@
+//! Spoofed-traffic classification on a production prefix (the
+//! Lichtblau-style alternative to a honeypot, §III-C).
+//!
+//! When the monitored prefix also carries legitimate traffic, the origin
+//! can "infer the set of valid source addresses from each peering link and
+//! label the traffic from other addresses as spoofed": a packet claiming
+//! source AS `s` but arriving on a link other than `s`'s catchment link is
+//! flagged.
+
+use crate::flow::{claimed_as, Flow};
+use serde::{Deserialize, Serialize};
+use trackdown_bgp::{Catchments, LinkId};
+
+/// Confusion-matrix report for the classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ClassifierReport {
+    /// Spoofed flows flagged as spoofed.
+    pub true_positives: usize,
+    /// Legitimate flows flagged as spoofed.
+    pub false_positives: usize,
+    /// Legitimate flows passed.
+    pub true_negatives: usize,
+    /// Spoofed flows passed.
+    pub false_negatives: usize,
+}
+
+impl ClassifierReport {
+    /// Precision = TP / (TP + FP); 1.0 when nothing was flagged.
+    pub fn precision(&self) -> f64 {
+        let flagged = self.true_positives + self.false_positives;
+        if flagged == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / flagged as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 1.0 when nothing was spoofed.
+    pub fn recall(&self) -> f64 {
+        let spoofed = self.true_positives + self.false_negatives;
+        if spoofed == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / spoofed as f64
+        }
+    }
+}
+
+/// The per-link valid-source classifier.
+#[derive(Debug, Clone)]
+pub struct SpoofClassifier {
+    /// For each AS index, the link its legitimate traffic is expected on.
+    expected: Catchments,
+}
+
+impl SpoofClassifier {
+    /// Learn expected sources from measured (or true) catchments.
+    pub fn new(expected: Catchments) -> SpoofClassifier {
+        SpoofClassifier { expected }
+    }
+
+    /// Classify one flow arriving on `arrival_link`. Returns `true` when
+    /// the flow is judged spoofed:
+    /// * the claimed source address maps to no known AS (bogon /
+    ///   out-of-scheme address, like a victim address), or
+    /// * the claimed AS's expected link differs from the arrival link, or
+    /// * the claimed AS has no expected link at all.
+    pub fn is_spoofed(&self, flow: &Flow, arrival_link: LinkId) -> bool {
+        match claimed_as(flow.claimed_ip) {
+            None => true,
+            Some(claimed) => {
+                if claimed.us() >= self.expected.len() {
+                    return true;
+                }
+                self.expected.get(claimed) != Some(arrival_link)
+            }
+        }
+    }
+
+    /// Evaluate against ground truth: each flow arrives on the catchment
+    /// link of its *true* source AS (`actual` catchments); flows whose true
+    /// source has no catchment never arrive and are skipped.
+    pub fn evaluate(&self, actual: &Catchments, flows: &[Flow]) -> ClassifierReport {
+        let mut r = ClassifierReport::default();
+        for f in flows {
+            let Some(arrival) = actual.get(f.src_as) else {
+                continue;
+            };
+            match (f.spoofed, self.is_spoofed(f, arrival)) {
+                (true, true) => r.true_positives += 1,
+                (false, true) => r.false_positives += 1,
+                (false, false) => r.true_negatives += 1,
+                (true, false) => r.false_negatives += 1,
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{as_address, legitimate_flows, spoofed_flows, FlowConfig};
+    use crate::placement::{place_sources, SourcePlacement};
+    use trackdown_bgp::Prefix;
+    use trackdown_topology::AsIndex;
+
+    fn catchments(n: usize, f: impl Fn(usize) -> Option<u8>) -> Catchments {
+        let mut c = Catchments::unassigned(n);
+        for i in 0..n {
+            c.set(AsIndex(i as u32), f(i).map(LinkId));
+        }
+        c
+    }
+
+    #[test]
+    fn spoofed_victim_address_always_flagged() {
+        let c = catchments(4, |i| Some((i % 2) as u8));
+        let cls = SpoofClassifier::new(c.clone());
+        let victim = u32::from_be_bytes([203, 0, 113, 7]);
+        let f = Flow {
+            src_as: AsIndex(0),
+            claimed_ip: victim,
+            dst_ip: 0,
+            packets: 1,
+            bytes: 64,
+            spoofed: true,
+        };
+        assert!(cls.is_spoofed(&f, LinkId(0)));
+        assert!(cls.is_spoofed(&f, LinkId(1)));
+    }
+
+    #[test]
+    fn legit_flow_on_expected_link_passes() {
+        let c = catchments(4, |i| Some((i % 2) as u8));
+        let cls = SpoofClassifier::new(c);
+        let f = Flow {
+            src_as: AsIndex(2),
+            claimed_ip: as_address(AsIndex(2), 1),
+            dst_ip: 0,
+            packets: 1,
+            bytes: 64,
+            spoofed: false,
+        };
+        assert!(!cls.is_spoofed(&f, LinkId(0)));
+        // Same packet arriving on the wrong link is suspicious: a host in
+        // another catchment forged AS2's space.
+        assert!(cls.is_spoofed(&f, LinkId(1)));
+    }
+
+    #[test]
+    fn perfect_knowledge_perfect_scores() {
+        let n = 50;
+        let truth = catchments(n, |i| Some((i % 3) as u8));
+        let cls = SpoofClassifier::new(truth.clone());
+        let cands: Vec<AsIndex> = (0..n as u32).map(AsIndex).collect();
+        let placed = place_sources(n, &cands, SourcePlacement::Uniform { total: 30 }, 1);
+        let hp = Prefix::new([184, 164, 224, 0], 24);
+        let victim = u32::from_be_bytes([203, 0, 113, 9]);
+        let mut flows = spoofed_flows(&placed, victim, hp, &FlowConfig::default());
+        flows.extend(legitimate_flows(&cands, hp, 5, 100));
+        let r = cls.evaluate(&truth, &flows);
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.recall(), 1.0);
+        assert_eq!(r.false_positives, 0);
+        assert_eq!(r.false_negatives, 0);
+        assert_eq!(r.true_negatives, n);
+    }
+
+    #[test]
+    fn stale_catchments_cause_false_positives() {
+        let n = 10;
+        let truth = catchments(n, |_| Some(1));
+        // The classifier learned old catchments: everyone on link 0.
+        let stale = catchments(n, |_| Some(0));
+        let cls = SpoofClassifier::new(stale);
+        let cands: Vec<AsIndex> = (0..n as u32).map(AsIndex).collect();
+        let hp = Prefix::new([184, 164, 224, 0], 24);
+        let flows = legitimate_flows(&cands, hp, 5, 100);
+        let r = cls.evaluate(&truth, &flows);
+        assert_eq!(r.false_positives, n);
+        assert_eq!(r.precision(), 0.0);
+    }
+
+    #[test]
+    fn unreachable_sources_never_arrive() {
+        let truth = catchments(3, |_| None);
+        let cls = SpoofClassifier::new(truth.clone());
+        let flows = legitimate_flows(
+            &[AsIndex(0)],
+            Prefix::new([184, 164, 224, 0], 24),
+            1,
+            64,
+        );
+        let r = cls.evaluate(&truth, &flows);
+        assert_eq!(r, ClassifierReport::default());
+        // Degenerate report has well-defined scores.
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.recall(), 1.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Attacker placement: which ASes host the machines sending spoofed
+//! packets.
+//!
+//! §V-D of the paper simulates three scenarios, reproduced here:
+//!
+//! * **single source** — one source in an AS chosen at random (the common
+//!   amplification-attack case per AmpPot);
+//! * **uniform** — sources spread uniformly across ASes;
+//! * **Pareto** — heavy-tailed placement shaped so 80 % of sources sit in
+//!   20 % of ASes.
+//!
+//! "We assume the volume of spoofed traffic originated in an AS is
+//! proportional to the number of sources in it."
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use trackdown_topology::AsIndex;
+
+/// The Pareto shape α for which the top 20 % of draws hold 80 % of the
+/// mass: α = ln 5 / ln 4 ≈ 1.161.
+pub fn pareto_shape_80_20() -> f64 {
+    5f64.ln() / 4f64.ln()
+}
+
+/// Distribution of spoofing sources across ASes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SourcePlacement {
+    /// A single source in one AS chosen uniformly at random.
+    Single,
+    /// `total` sources placed independently and uniformly across ASes.
+    Uniform {
+        /// Number of sources to place.
+        total: usize,
+    },
+    /// `total` sources placed by per-AS Pareto weights with shape `alpha`.
+    Pareto {
+        /// Number of sources to place.
+        total: usize,
+        /// Pareto shape; use [`pareto_shape_80_20`] for the paper's 80/20.
+        alpha: f64,
+    },
+}
+
+/// A concrete placement: number of spoofing sources per AS.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedSources {
+    /// `counts[i]` = sources hosted in AS index `i`.
+    pub counts: Vec<u32>,
+}
+
+impl PlacedSources {
+    /// Total number of sources.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// ASes hosting at least one source.
+    pub fn source_ases(&self) -> impl Iterator<Item = AsIndex> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, _)| AsIndex(i as u32))
+    }
+
+    /// Number of ASes hosting at least one source.
+    pub fn num_source_ases(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Spoofed traffic volume per AS, proportional to source count.
+    pub fn volume_per_as(&self, bytes_per_source: u64) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|&c| c as u64 * bytes_per_source)
+            .collect()
+    }
+}
+
+/// Place sources over `candidates` (usually every AS in the topology, or
+/// only stubs for a stricter scenario) according to `placement`.
+///
+/// # Panics
+/// Panics if `candidates` is empty or `n_ases` cannot hold a candidate.
+pub fn place_sources(
+    n_ases: usize,
+    candidates: &[AsIndex],
+    placement: SourcePlacement,
+    seed: u64,
+) -> PlacedSources {
+    assert!(!candidates.is_empty(), "no candidate ASes");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut counts = vec![0u32; n_ases];
+    match placement {
+        SourcePlacement::Single => {
+            let pick = candidates[rng.random_range(0..candidates.len())];
+            counts[pick.us()] = 1;
+        }
+        SourcePlacement::Uniform { total } => {
+            for _ in 0..total {
+                let pick = candidates[rng.random_range(0..candidates.len())];
+                counts[pick.us()] += 1;
+            }
+        }
+        SourcePlacement::Pareto { total, alpha } => {
+            assert!(alpha > 0.0, "Pareto shape must be positive");
+            // Per-AS weight: inverse-CDF sample of Pareto(xm=1, alpha).
+            let weights: Vec<f64> = candidates
+                .iter()
+                .map(|_| {
+                    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                    u.powf(-1.0 / alpha)
+                })
+                .collect();
+            let sum: f64 = weights.iter().sum();
+            // Multinomial placement by cumulative weights.
+            let mut cumulative = Vec::with_capacity(weights.len());
+            let mut acc = 0.0;
+            for w in &weights {
+                acc += w / sum;
+                cumulative.push(acc);
+            }
+            for _ in 0..total {
+                let roll: f64 = rng.random();
+                let k = cumulative
+                    .partition_point(|&c| c < roll)
+                    .min(candidates.len() - 1);
+                counts[candidates[k].us()] += 1;
+            }
+        }
+    }
+    PlacedSources { counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates(n: usize) -> Vec<AsIndex> {
+        (0..n as u32).map(AsIndex).collect()
+    }
+
+    #[test]
+    fn single_places_exactly_one() {
+        let p = place_sources(100, &candidates(100), SourcePlacement::Single, 7);
+        assert_eq!(p.total(), 1);
+        assert_eq!(p.num_source_ases(), 1);
+    }
+
+    #[test]
+    fn uniform_places_total() {
+        let p = place_sources(
+            50,
+            &candidates(50),
+            SourcePlacement::Uniform { total: 500 },
+            8,
+        );
+        assert_eq!(p.total(), 500);
+        // With 500 sources over 50 ASes, nearly every AS is hit.
+        assert!(p.num_source_ases() > 40);
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_80_20() {
+        let n = 500;
+        let p = place_sources(
+            n,
+            &candidates(n),
+            SourcePlacement::Pareto {
+                total: 20_000,
+                alpha: pareto_shape_80_20(),
+            },
+            9,
+        );
+        assert_eq!(p.total(), 20_000);
+        let mut counts: Vec<u32> = p.counts.clone();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top20: u64 = counts[..n / 5].iter().map(|&c| c as u64).sum();
+        let share = top20 as f64 / p.total() as f64;
+        // The multinomial sampling adds noise; accept a broad 80/20 band.
+        assert!((0.6..0.97).contains(&share), "top-20% share = {share}");
+    }
+
+    #[test]
+    fn uniform_is_not_heavy_tailed() {
+        let n = 500;
+        let p = place_sources(
+            n,
+            &candidates(n),
+            SourcePlacement::Uniform { total: 20_000 },
+            10,
+        );
+        let mut counts: Vec<u32> = p.counts.clone();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top20: u64 = counts[..n / 5].iter().map(|&c| c as u64).sum();
+        let share = top20 as f64 / p.total() as f64;
+        assert!(share < 0.35, "uniform top-20% share = {share}");
+    }
+
+    #[test]
+    fn placement_respects_candidate_set() {
+        let cands = vec![AsIndex(3), AsIndex(7)];
+        let p = place_sources(10, &cands, SourcePlacement::Uniform { total: 100 }, 11);
+        for (i, &c) in p.counts.iter().enumerate() {
+            if i != 3 && i != 7 {
+                assert_eq!(c, 0);
+            }
+        }
+        assert_eq!(p.total(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = place_sources(20, &candidates(20), SourcePlacement::Uniform { total: 50 }, 1);
+        let b = place_sources(20, &candidates(20), SourcePlacement::Uniform { total: 50 }, 1);
+        assert_eq!(a, b);
+        let c = place_sources(20, &candidates(20), SourcePlacement::Uniform { total: 50 }, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn volume_proportional_to_sources() {
+        let p = PlacedSources {
+            counts: vec![0, 2, 5],
+        };
+        assert_eq!(p.volume_per_as(100), vec![0, 200, 500]);
+        assert_eq!(p.total(), 7);
+    }
+
+    #[test]
+    fn shape_constant_is_80_20() {
+        let a = pareto_shape_80_20();
+        // P(top 20%) = (0.2)^(1 - 1/α)… verify via the Lorenz-curve
+        // identity for Pareto: share of top q = q^(1 - 1/α).
+        let share = 0.2f64.powf(1.0 - 1.0 / a);
+        assert!((share - 0.8).abs() < 1e-9);
+    }
+}

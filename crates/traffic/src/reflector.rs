@@ -1,0 +1,256 @@
+//! The amplification attack triangle: attackers → reflectors → victim.
+//!
+//! The paper's introduction motivates the whole system with reflection
+//! attacks: "origins send small queries with the source IP address set to
+//! the victim's IP address such that large responses from responders
+//! flood the victim" (§VII-a). This module models that triangle so the
+//! victim's perspective — gigabits of response traffic from *reflectors*,
+//! with the true origins invisible — can be contrasted with the origin-
+//! network vantage the paper's techniques exploit.
+//!
+//! Reflectors are abusable open services (NTP monlist, open DNS
+//! resolvers, memcached) scattered across ASes; each protocol has a
+//! measured amplification factor.
+
+use crate::flow::Flow;
+use crate::packet::amp_ports;
+use crate::placement::PlacedSources;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use trackdown_topology::AsIndex;
+
+/// An abusable reflector service class with its amplification factor
+/// (bandwidth amplification factors from the amplification-attack
+/// literature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReflectorKind {
+    /// NTP `monlist` (BAF ≈ 557).
+    Ntp,
+    /// Open DNS resolver, `ANY` queries (BAF ≈ 54).
+    Dns,
+    /// memcached over UDP (BAF ≈ 10 000+, the record-setting vector).
+    Memcached,
+    /// CharGen (BAF ≈ 359).
+    Chargen,
+}
+
+impl ReflectorKind {
+    /// Bandwidth amplification factor: response bytes per query byte.
+    pub fn amplification(self) -> f64 {
+        match self {
+            ReflectorKind::Ntp => 556.9,
+            ReflectorKind::Dns => 54.6,
+            ReflectorKind::Memcached => 10_000.0,
+            ReflectorKind::Chargen => 358.8,
+        }
+    }
+
+    /// The UDP port the service answers on.
+    pub fn port(self) -> u16 {
+        match self {
+            ReflectorKind::Ntp => amp_ports::NTP,
+            ReflectorKind::Dns => amp_ports::DNS,
+            ReflectorKind::Memcached => amp_ports::MEMCACHED,
+            ReflectorKind::Chargen => amp_ports::CHARGEN,
+        }
+    }
+}
+
+/// One reflector: an abusable host in some AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reflector {
+    /// The AS hosting the open service.
+    pub asn_index: AsIndex,
+    /// Service class.
+    pub kind: ReflectorKind,
+}
+
+/// Deterministically scatter `count` reflectors over candidate ASes with
+/// the given kind mix (uniform over candidates; open services correlate
+/// poorly with network size in practice).
+pub fn scatter_reflectors(
+    candidates: &[AsIndex],
+    count: usize,
+    kinds: &[ReflectorKind],
+    seed: u64,
+) -> Vec<Reflector> {
+    assert!(!candidates.is_empty() && !kinds.is_empty());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| Reflector {
+            asn_index: candidates[rng.random_range(0..candidates.len())],
+            kind: kinds[rng.random_range(0..kinds.len())],
+        })
+        .collect()
+}
+
+/// What the victim sees during one observation window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VictimReport {
+    /// Amplified bytes received, per reflector AS (the *apparent*
+    /// sources). The true attacker ASes appear nowhere.
+    pub per_reflector_as: Vec<(AsIndex, u64)>,
+    /// Total response bytes at the victim.
+    pub total_bytes: u64,
+    /// Total query bytes the attackers actually sent.
+    pub query_bytes: u64,
+}
+
+impl VictimReport {
+    /// Overall bandwidth amplification achieved by the attack.
+    pub fn overall_amplification(&self) -> f64 {
+        if self.query_bytes == 0 {
+            return 0.0;
+        }
+        self.total_bytes as f64 / self.query_bytes as f64
+    }
+}
+
+/// Run the reflection attack: every attacker source sprays its query
+/// budget across the reflectors (round-robin from a seeded start), each
+/// reflector amplifies toward the victim. Returns the victim's view and
+/// the query [`Flow`]s as they leave the attacker ASes (the flows a
+/// reflector-side honeypot — AmpPot — would log).
+pub fn reflect_attack(
+    placed: &PlacedSources,
+    reflectors: &[Reflector],
+    victim_ip: u32,
+    query_bytes_per_source: u64,
+    seed: u64,
+) -> (VictimReport, Vec<Flow>) {
+    assert!(!reflectors.is_empty());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut per_reflector: Vec<u64> = vec![0; reflectors.len()];
+    let mut flows = Vec::new();
+    let mut total_query = 0u64;
+    for src in placed.source_ases() {
+        let sources = placed.counts[src.us()] as u64;
+        let budget = sources * query_bytes_per_source;
+        total_query += budget;
+        // Spray round-robin from a random start so reflector load is even
+        // in aggregate but deterministic.
+        let start = rng.random_range(0..reflectors.len());
+        let share = budget / reflectors.len() as u64;
+        let remainder = budget % reflectors.len() as u64;
+        for k in 0..reflectors.len() {
+            let idx = (start + k) % reflectors.len();
+            let bytes = share + if (k as u64) < remainder { 1 } else { 0 };
+            if bytes == 0 {
+                continue;
+            }
+            per_reflector[idx] += bytes;
+            flows.push(Flow {
+                src_as: src,
+                claimed_ip: victim_ip,
+                // Destination stands in for the reflector's address; the
+                // AS-level simulation only needs its AS.
+                dst_ip: 0x0808_0808,
+                packets: bytes / 64,
+                bytes,
+                spoofed: true,
+            });
+        }
+    }
+    // Aggregate amplified volume per reflector AS.
+    let mut per_as: std::collections::BTreeMap<AsIndex, u64> = std::collections::BTreeMap::new();
+    let mut total = 0u64;
+    for (r, &q) in reflectors.iter().zip(&per_reflector) {
+        let amplified = (q as f64 * r.kind.amplification()) as u64;
+        *per_as.entry(r.asn_index).or_insert(0) += amplified;
+        total += amplified;
+    }
+    (
+        VictimReport {
+            per_reflector_as: per_as.into_iter().collect(),
+            total_bytes: total,
+            query_bytes: total_query,
+        },
+        flows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{place_sources, SourcePlacement};
+
+    fn candidates(n: usize) -> Vec<AsIndex> {
+        (0..n as u32).map(AsIndex).collect()
+    }
+
+    #[test]
+    fn scatter_is_deterministic_and_in_range() {
+        let c = candidates(50);
+        let kinds = [ReflectorKind::Ntp, ReflectorKind::Dns];
+        let a = scatter_reflectors(&c, 30, &kinds, 5);
+        let b = scatter_reflectors(&c, 30, &kinds, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        for r in &a {
+            assert!(c.contains(&r.asn_index));
+            assert!(kinds.contains(&r.kind));
+        }
+    }
+
+    #[test]
+    fn victim_sees_reflectors_not_attackers() {
+        let c = candidates(100);
+        // Attackers in ASes 0..10, reflectors in ASes 50..100.
+        let placed = place_sources(
+            100,
+            &c[..10],
+            SourcePlacement::Uniform { total: 5 },
+            1,
+        );
+        let reflectors = scatter_reflectors(&c[50..], 20, &[ReflectorKind::Ntp], 2);
+        let (report, flows) = reflect_attack(&placed, &reflectors, 0xCB00_7101, 10_000, 3);
+        // Apparent sources are reflector ASes only.
+        for (asn_index, bytes) in &report.per_reflector_as {
+            assert!(asn_index.0 >= 50, "victim saw a true attacker AS");
+            assert!(*bytes > 0);
+        }
+        // The flows leaving attacker ASes are the honeypot-visible truth.
+        for f in &flows {
+            assert!(f.src_as.0 < 10);
+            assert!(f.spoofed);
+        }
+        // Query volume is conserved.
+        let flow_bytes: u64 = flows.iter().map(|f| f.bytes).sum();
+        assert_eq!(flow_bytes, report.query_bytes);
+        assert_eq!(report.query_bytes, placed.total() * 10_000);
+    }
+
+    #[test]
+    fn amplification_factor_matches_kind() {
+        let c = candidates(10);
+        let placed = place_sources(10, &c[..1], SourcePlacement::Single, 4);
+        for kind in [
+            ReflectorKind::Ntp,
+            ReflectorKind::Dns,
+            ReflectorKind::Memcached,
+            ReflectorKind::Chargen,
+        ] {
+            let reflectors = scatter_reflectors(&c[5..], 4, &[kind], 5);
+            let (report, _) = reflect_attack(&placed, &reflectors, 1, 100_000, 6);
+            let amp = report.overall_amplification();
+            assert!(
+                (amp - kind.amplification()).abs() / kind.amplification() < 0.01,
+                "{kind:?}: amplification {amp} != {}",
+                kind.amplification()
+            );
+            assert!(kind.port() > 0);
+        }
+    }
+
+    #[test]
+    fn zero_attackers_zero_traffic() {
+        let c = candidates(10);
+        let placed = PlacedSources { counts: vec![0; 10] };
+        let reflectors = scatter_reflectors(&c, 3, &[ReflectorKind::Dns], 7);
+        let (report, flows) = reflect_attack(&placed, &reflectors, 1, 1_000, 8);
+        assert_eq!(report.total_bytes, 0);
+        assert_eq!(report.overall_amplification(), 0.0);
+        assert!(flows.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! End-to-end integration: topology → BGP → measurement plane → traffic →
+//! localization, exercising every crate boundary in one flow.
+
+use trackdown_suite::bgp::Catchments;
+use trackdown_suite::measure::{MeasurementConfig, MeasurementPlane};
+use trackdown_suite::prelude::*;
+use trackdown_suite::traffic::{volume_per_link, Honeypot, HoneypotConfig};
+
+fn world_and_origin(seed: u64) -> (GeneratedTopology, OriginAs) {
+    let world = generate(&TopologyConfig::small(seed));
+    let origin = OriginAs::peering_style(&world, 4);
+    (world, origin)
+}
+
+#[test]
+fn full_pipeline_with_measured_catchments_localizes_a_source() {
+    let (world, origin) = world_and_origin(77);
+    let engine = BgpEngine::new(&world.topology, &EngineConfig::default());
+    let cones = ConeInfo::compute(&world.topology);
+    let plane = MeasurementPlane::new(&world.topology, &cones, &MeasurementConfig::default());
+    let schedule = full_schedule(
+        &world.topology,
+        &origin,
+        &GeneratorParams {
+            max_removals: 2,
+            max_poison_configs: Some(15),
+        },
+    );
+    let campaign = run_campaign(
+        &engine,
+        &origin,
+        &schedule,
+        CatchmentSource::Measured,
+        Some(&plane),
+        200,
+    );
+    assert!(campaign.imputation.is_some());
+    assert!(!campaign.tracked.is_empty());
+
+    // The attack, observed by a honeypot on the *data plane* (the
+    // measured campaign only affects the origin's knowledge, not where
+    // traffic actually flows).
+    let attacker = campaign.tracked[campaign.tracked.len() / 2];
+    let honeypot = Honeypot::new(HoneypotConfig::default());
+    let mut placed_counts = vec![0u32; world.topology.num_ases()];
+    placed_counts[attacker.us()] = 3;
+    let placed = trackdown_suite::traffic::PlacedSources {
+        counts: placed_counts,
+    };
+    let flows = spoofed_flows(
+        &placed,
+        u32::from_be_bytes([203, 0, 113, 1]),
+        honeypot.config().prefix,
+        &FlowConfig::default(),
+    );
+    let mut link_volumes = Vec::new();
+    for cfg in &campaign.configs {
+        let outcome = engine
+            .propagate_config(&origin, &cfg.to_link_announcements(), 200)
+            .unwrap();
+        let truth = Catchments::from_data_plane(&outcome);
+        let report = honeypot.observe(&truth, origin.num_links(), &flows);
+        link_volumes.push(report.per_link_bytes);
+    }
+    let suspects = rank_suspects(&campaign, &link_volumes);
+    // Even with measurement noise, the attacker must be named.
+    let named = suspect_ases(&suspects, 1.0);
+    assert!(
+        named.contains(&attacker),
+        "attacker {} not among {} named suspects",
+        world.topology.asn_of(attacker),
+        named.len()
+    );
+}
+
+#[test]
+fn control_and_data_plane_catchments_agree_for_clean_policies() {
+    let (world, origin) = world_and_origin(5);
+    let cfg = EngineConfig {
+        policy: PolicyConfig {
+            seed: 1,
+            violator_fraction: 0.0,
+            no_loop_prevention_fraction: 0.0,
+            tier1_poison_filtering: false,
+        },
+        ..EngineConfig::default()
+    };
+    let engine = BgpEngine::new(&world.topology, &cfg);
+    let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+    let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+    let control = Catchments::from_control_plane(&out);
+    let data = Catchments::from_data_plane(&out);
+    for i in world.topology.indices() {
+        assert_eq!(control.get(i), data.get(i));
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let (world, origin) = world_and_origin(123);
+        let engine = BgpEngine::new(&world.topology, &EngineConfig::default());
+        let schedule = full_schedule(
+            &world.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 1,
+                max_poison_configs: Some(5),
+            },
+        );
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        (
+            campaign.clustering.num_clusters(),
+            campaign.clustering.mean_size(),
+            campaign.catchments.clone(),
+        )
+    };
+    let (c1, m1, cat1) = run();
+    let (c2, m2, cat2) = run();
+    assert_eq!(c1, c2);
+    assert_eq!(m1, m2);
+    assert_eq!(cat1, cat2);
+}
+
+#[test]
+fn honeypot_volume_matches_attribution_math() {
+    let (world, origin) = world_and_origin(9);
+    let engine = BgpEngine::new(&world.topology, &EngineConfig::default());
+    let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+    let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+    let truth = Catchments::from_data_plane(&out);
+
+    let all: Vec<AsIndex> = world.topology.indices().collect();
+    let placed = place_sources(
+        world.topology.num_ases(),
+        &all,
+        SourcePlacement::Uniform { total: 40 },
+        4,
+    );
+    let honeypot = Honeypot::new(HoneypotConfig::default());
+    let flows = spoofed_flows(
+        &placed,
+        u32::from_be_bytes([203, 0, 113, 2]),
+        honeypot.config().prefix,
+        &FlowConfig::default(),
+    );
+    let report = honeypot.observe(&truth, origin.num_links(), &flows);
+    // The honeypot's per-link accounting equals the analytic attribution
+    // of per-AS volumes through the same catchments.
+    let volumes = placed.volume_per_as(1_000 * 64);
+    let expected = volume_per_link(&truth, &volumes, origin.num_links());
+    assert_eq!(report.per_link_bytes, expected);
+}
+
+#[test]
+fn measured_campaign_close_to_oracle_campaign() {
+    let (world, origin) = world_and_origin(31);
+    let engine = BgpEngine::new(&world.topology, &EngineConfig::default());
+    let cones = ConeInfo::compute(&world.topology);
+    let plane = MeasurementPlane::new(&world.topology, &cones, &MeasurementConfig::default());
+    let schedule = full_schedule(
+        &world.topology,
+        &origin,
+        &GeneratorParams {
+            max_removals: 1,
+            max_poison_configs: Some(5),
+        },
+    );
+    let oracle = run_campaign(
+        &engine,
+        &origin,
+        &schedule,
+        CatchmentSource::ControlPlane,
+        None,
+        200,
+    );
+    let measured = run_campaign(
+        &engine,
+        &origin,
+        &schedule,
+        CatchmentSource::Measured,
+        Some(&plane),
+        200,
+    );
+    // Where a source is tracked by both, the final measured catchment
+    // agrees with the oracle most of the time.
+    let mut common = 0usize;
+    let mut agree = 0usize;
+    for &s in &measured.tracked {
+        for (mc, oc) in measured.catchments.iter().zip(&oracle.catchments) {
+            if let (Some(a), Some(b)) = (mc.get(s), oc.get(s)) {
+                common += 1;
+                if a == b {
+                    agree += 1;
+                }
+            }
+        }
+    }
+    assert!(common > 0);
+    let rate = agree as f64 / common as f64;
+    assert!(rate > 0.85, "measured/oracle agreement too low: {rate}");
+}

@@ -1,0 +1,123 @@
+//! Integration checks against the exact combinatorial counts the paper
+//! reports for its announcement schedule (§IV-a, §V-B).
+
+use std::collections::BTreeSet;
+use trackdown_suite::core::footprint::footprint_config_indices;
+use trackdown_suite::core::generator::{location_phase, poison_targets, prepend_phase};
+use trackdown_suite::prelude::*;
+
+#[test]
+fn paper_location_and_prepend_counts() {
+    // "we limit r to 4, which requires Σ_{x=0..3} C(7,7−x) = 64
+    // configurations"
+    let loc = location_phase(7, 3);
+    assert_eq!(loc.len(), 64);
+    // "this requires an additional Σ_{x=0..3} [7−x]·C(7,7−x) = 294
+    // configurations"
+    let pre = prepend_phase(&loc);
+    assert_eq!(pre.len(), 294);
+    // 64 + 294 = 358 for the location+prepending phases.
+    assert_eq!(loc.len() + pre.len(), 358);
+}
+
+#[test]
+fn paper_footprint_subset_counts() {
+    let loc = location_phase(7, 3);
+    let mut schedule = loc.clone();
+    schedule.extend(prepend_phase(&loc));
+    // "the six locations line includes a subset of
+    //  Σ_{x=0..2} [C(6,6−x) + (6−x)·C(6,6−x)] = 118 configurations"
+    let keep6: BTreeSet<LinkId> = (0..6).map(LinkId).collect();
+    assert_eq!(footprint_config_indices(&schedule, &keep6).len(), 118);
+    // "the five locations line includes a subset of
+    //  Σ_{x=0..1} [C(5,5−x) + (5−x)·C(5,5−x)] = 31 configurations"
+    let keep5: BTreeSet<LinkId> = (0..5).map(LinkId).collect();
+    assert_eq!(footprint_config_indices(&schedule, &keep5).len(), 31);
+}
+
+#[test]
+fn peering_poison_limits_enforced() {
+    let world = generate(&TopologyConfig::small(1));
+    let origin = OriginAs::peering_style(&world, 4);
+    // "The PEERING platform conservatively limits each announcement to two
+    // poisoned ASes."
+    assert_eq!(origin.max_poisons, 2);
+    let too_many = LinkAnnouncement::poisoned(
+        LinkId(0),
+        vec![Asn(11), Asn(12), Asn(13)],
+    );
+    assert!(origin.build_injections(&world.topology, &[too_many]).is_err());
+    // Two poisons pass, and the path carries the `o u o` sandwich.
+    let ok = LinkAnnouncement::poisoned(LinkId(0), vec![Asn(11), Asn(12)]);
+    let inj = origin
+        .build_injections(&world.topology, &[ok])
+        .expect("two poisons allowed");
+    assert_eq!(inj[0].path.poisons_of(origin.asn), vec![Asn(11), Asn(12)]);
+}
+
+#[test]
+fn prepend_count_matches_paper_constant() {
+    // "the origin can prepend its AS number four times, which is longer
+    // than most AS-paths in the Internet"
+    let world = generate(&TopologyConfig::small(1));
+    let origin = OriginAs::peering_style(&world, 4);
+    assert_eq!(origin.prepend_times, 4);
+    let inj = origin
+        .build_injections(&world.topology, &[LinkAnnouncement::prepended(LinkId(0))])
+        .unwrap();
+    assert_eq!(inj[0].path.len(), 5); // origin + 4 prepends
+}
+
+#[test]
+fn poison_targets_cover_every_pop_provider_neighborhood() {
+    let world = generate(&TopologyConfig::medium(2));
+    let origin = OriginAs::peering_style(&world, 5);
+    let targets = poison_targets(&world.topology, &origin);
+    // Every PoP provider with at least one eligible neighbor contributes.
+    for link in &origin.links {
+        let p = world.topology.index_of(link.provider).unwrap();
+        let eligible = world
+            .topology
+            .neighbors(p)
+            .iter()
+            .filter(|(n, _)| {
+                let asn = world.topology.asn_of(*n);
+                asn != origin.asn && !origin.links.iter().any(|l| l.provider == asn)
+            })
+            .count();
+        if eligible > 0 {
+            assert!(
+                targets.iter().any(|t| t.provider == link.provider),
+                "provider {} contributed no targets",
+                link.provider
+            );
+        }
+    }
+    // Targets are unique per the paper's one-config-per-neighbor counting.
+    let mut asns: Vec<Asn> = targets.iter().map(|t| t.target).collect();
+    asns.sort_unstable();
+    let before = asns.len();
+    asns.dedup();
+    assert_eq!(asns.len(), before);
+}
+
+#[test]
+fn full_schedule_validates_against_origin() {
+    let world = generate(&TopologyConfig::medium(3));
+    let origin = OriginAs::peering_style(&world, 7);
+    let schedule = full_schedule(
+        &world.topology,
+        &origin,
+        &GeneratorParams {
+            max_removals: 3,
+            max_poison_configs: None,
+        },
+    );
+    // 64 + 294 location/prepend configs plus one per poison target.
+    let poisons = schedule.iter().filter(|c| c.phase == Phase::Poison).count();
+    assert_eq!(schedule.len(), 358 + poisons);
+    assert!(poisons > 0);
+    for cfg in &schedule {
+        cfg.validate(&origin).expect("schedule config invalid");
+    }
+}
