@@ -28,19 +28,15 @@ fn bench_refine(c: &mut Criterion) {
     for n in [500usize, 2000, 8000] {
         let cats = synthetic_catchments(n, 7, 16, 3);
         let sources: Vec<AsIndex> = (0..n as u32).map(AsIndex).collect();
-        group.bench_with_input(
-            BenchmarkId::new("refine_16_configs", n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    let mut clustering = Clustering::single(sources.clone());
-                    for cat in &cats {
-                        clustering.refine(black_box(cat));
-                    }
-                    black_box(clustering.num_clusters())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("refine_16_configs", n), &n, |b, _| {
+            b.iter(|| {
+                let mut clustering = Clustering::single(sources.clone());
+                for cat in &cats {
+                    clustering.refine(black_box(cat));
+                }
+                black_box(clustering.num_clusters())
+            })
+        });
     }
     // Fast path vs the paper's literal split loop (small n: the naive
     // version is quadratic).

@@ -6,21 +6,32 @@
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use trackdown_bgp::{BgpEngine, EngineConfig, OriginAs};
+use trackdown_bgp::{BgpEngine, EngineConfig, OriginAs, PolicyConfig};
 use trackdown_core::generator::{full_schedule, GeneratorParams};
-use trackdown_core::localize::{run_campaign, CatchmentSource};
+use trackdown_core::localize::{run_campaign, run_campaign_mode, CampaignMode, CatchmentSource};
 use trackdown_core::schedule::{greedy_schedule, mean_size_objective, random_schedule_stats};
+use trackdown_topology::gen::{generate, TopologyConfig};
+use trackdown_topology::AsIndex;
 use trackdown_traffic::{
     cumulative_volume_by_cluster_size, pareto_shape_80_20, place_sources, SourcePlacement,
     UdpPacket,
 };
-use trackdown_topology::gen::{generate, TopologyConfig};
-use trackdown_topology::AsIndex;
 
 fn bench_fig34_campaign(c: &mut Criterion) {
     let world = generate(&TopologyConfig::small(1));
     let origin = OriginAs::peering_style(&world, 4);
-    let engine = BgpEngine::new(&world.topology, &EngineConfig::default());
+    // Violator-free policies: epoch reuse only engages where fixpoints
+    // are history-independent (CampaignSession::warm_reuse), so this is
+    // the configuration in which the warm/cold ratio measures the
+    // campaign-runner speedup rather than the violator fallback.
+    let cfg = EngineConfig {
+        policy: PolicyConfig {
+            violator_fraction: 0.0,
+            ..PolicyConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+    let engine = BgpEngine::new(&world.topology, &cfg);
     let schedule = full_schedule(
         &world.topology,
         &origin,
@@ -29,6 +40,8 @@ fn bench_fig34_campaign(c: &mut Criterion) {
             max_poison_configs: Some(10),
         },
     );
+    // Default (warm-start epoch reuse) vs the cold-start reference oracle
+    // on the same schedule — the ratio is the campaign-runner speedup.
     c.bench_function("fig3_4_campaign_small", |b| {
         b.iter(|| {
             let campaign = run_campaign(
@@ -38,6 +51,75 @@ fn bench_fig34_campaign(c: &mut Criterion) {
                 CatchmentSource::ControlPlane,
                 None,
                 200,
+            );
+            black_box(campaign.clustering.mean_size())
+        })
+    });
+    c.bench_function("fig3_4_campaign_small_cold", |b| {
+        b.iter(|| {
+            let campaign = run_campaign_mode(
+                &engine,
+                &origin,
+                black_box(&schedule),
+                CatchmentSource::ControlPlane,
+                None,
+                200,
+                CampaignMode::Cold,
+            );
+            black_box(campaign.clustering.mean_size())
+        })
+    });
+}
+
+// The paper-scale run: a full three-phase schedule (~705 configurations
+// at 7 PoPs) on the full 2000-AS topology, warm executor vs the cold
+// oracle. This is the headline number for the epoch-reuse runner.
+fn bench_full_campaign(c: &mut Criterion) {
+    let world = generate(&TopologyConfig {
+        seed: 1,
+        ..TopologyConfig::default()
+    });
+    let origin = OriginAs::peering_style(&world, 7);
+    let cfg = EngineConfig {
+        policy: PolicyConfig {
+            violator_fraction: 0.0,
+            ..PolicyConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+    let engine = BgpEngine::new(&world.topology, &cfg);
+    let schedule = full_schedule(
+        &world.topology,
+        &origin,
+        &GeneratorParams {
+            max_removals: 3,
+            max_poison_configs: None,
+        },
+    );
+    eprintln!("full campaign schedule: {} configurations", schedule.len());
+    c.bench_function("campaign_full_schedule_warm", |b| {
+        b.iter(|| {
+            let campaign = run_campaign(
+                &engine,
+                &origin,
+                black_box(&schedule),
+                CatchmentSource::ControlPlane,
+                None,
+                200,
+            );
+            black_box(campaign.clustering.mean_size())
+        })
+    });
+    c.bench_function("campaign_full_schedule_cold", |b| {
+        b.iter(|| {
+            let campaign = run_campaign_mode(
+                &engine,
+                &origin,
+                black_box(&schedule),
+                CatchmentSource::ControlPlane,
+                None,
+                200,
+                CampaignMode::Cold,
             );
             black_box(campaign.clustering.mean_size())
         })
@@ -146,6 +228,7 @@ fn bench_packet_codec(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_fig34_campaign,
+    bench_full_campaign,
     bench_fig8_schedulers,
     bench_fig10_attribution,
     bench_packet_codec

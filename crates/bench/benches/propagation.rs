@@ -25,21 +25,16 @@ fn bench_propagation(c: &mut Criterion) {
         let origin = OriginAs::peering_style(&world, pops);
         let engine = BgpEngine::new(&world.topology, &EngineConfig::default());
         let anycast: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
-        group.bench_with_input(
-            BenchmarkId::new("anycast_all_links", label),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    let out = engine
-                        .propagate_config(&origin, black_box(&anycast), 200)
-                        .unwrap();
-                    black_box(out.reachable_count())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("anycast_all_links", label), &(), |b, _| {
+            b.iter(|| {
+                let out = engine
+                    .propagate_config(&origin, black_box(&anycast), 200)
+                    .unwrap();
+                black_box(out.reachable_count())
+            })
+        });
         // Poisoned announcement (extra path work + withdraw handling).
-        let targets =
-            trackdown_core::generator::poison_targets(&world.topology, &origin);
+        let targets = trackdown_core::generator::poison_targets(&world.topology, &origin);
         let poison_asn = targets.first().map(|t| t.target).unwrap_or(Asn(9999));
         let poisoned: Vec<LinkAnnouncement> = origin
             .link_ids()
@@ -63,6 +58,60 @@ fn bench_propagation(c: &mut Criterion) {
     group.finish();
 }
 
+// Warm-start epoch transitions: one persistent session alternating between
+// two configurations, against the cold-start cost of the same pair. The
+// warm path only reprocesses the routes the edit actually disturbs.
+fn bench_warm_epochs(c: &mut Criterion) {
+    let world = generate(&TopologyConfig::medium(1));
+    let origin = OriginAs::peering_style(&world, 5);
+    // Violator-free: epoch reuse disengages on violator engines (their
+    // stable states are history-dependent), which would turn the "warm"
+    // bench into a second cold bench.
+    let cfg = EngineConfig {
+        policy: trackdown_bgp::PolicyConfig {
+            violator_fraction: 0.0,
+            ..trackdown_bgp::PolicyConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+    let engine = BgpEngine::new(&world.topology, &cfg);
+    let anycast: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+    let targets = trackdown_core::generator::poison_targets(&world.topology, &origin);
+    let poison_asn = targets.first().map(|t| t.target).unwrap_or(Asn(9999));
+    let poisoned: Vec<LinkAnnouncement> = origin
+        .link_ids()
+        .map(|l| {
+            if l == LinkId(0) {
+                LinkAnnouncement::poisoned(l, vec![poison_asn])
+            } else {
+                LinkAnnouncement::plain(l)
+            }
+        })
+        .collect();
+    c.bench_function("epoch_transition_warm_medium", |b| {
+        let mut session = engine.session();
+        session.deploy_config(&origin, &anycast, 200).unwrap();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let cfg = if flip { &poisoned } else { &anycast };
+            let out = session.deploy_config(&origin, black_box(cfg), 200).unwrap();
+            black_box(out.reachable_count())
+        })
+    });
+    c.bench_function("epoch_transition_cold_medium", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let cfg = if flip { &poisoned } else { &anycast };
+            let out = engine
+                .propagate_config(&origin, black_box(cfg), 200)
+                .unwrap();
+            black_box(out.reachable_count())
+        })
+    });
+}
+
 fn bench_engine_setup(c: &mut Criterion) {
     let world = generate(&TopologyConfig::medium(1));
     c.bench_function("engine_build_medium", |b| {
@@ -73,5 +122,10 @@ fn bench_engine_setup(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_propagation, bench_engine_setup);
+criterion_group!(
+    benches,
+    bench_propagation,
+    bench_warm_epochs,
+    bench_engine_setup
+);
 criterion_main!(benches);

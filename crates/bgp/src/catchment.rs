@@ -40,11 +40,7 @@ impl Catchments {
     /// what honeypot volume accounting sees.
     pub fn from_data_plane(outcome: &RoutingOutcome) -> Catchments {
         let assignment = (0..outcome.best.len())
-            .map(|i| {
-                outcome
-                    .forwarding_walk(AsIndex(i as u32))
-                    .map(|w| w.link)
-            })
+            .map(|i| outcome.forwarding_walk(AsIndex(i as u32)).map(|w| w.link))
             .collect();
         Catchments { assignment }
     }

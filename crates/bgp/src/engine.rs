@@ -218,12 +218,7 @@ impl<'t> BgpEngine<'t> {
 
     /// Run best-path selection at `at` over the direct injections and the
     /// Adj-RIB-In.
-    fn decide(
-        &self,
-        at: AsIndex,
-        direct: &[Route],
-        rib: &[Option<Route>],
-    ) -> Option<Route> {
+    fn decide(&self, at: AsIndex, direct: &[Route], rib: &[Option<Route>]) -> Option<Route> {
         let mut best: Option<&Route> = None;
         for cand in direct.iter().chain(rib.iter().flatten()) {
             best = match best {
@@ -283,6 +278,123 @@ impl<'t> BgpEngine<'t> {
         let next_inj = origin.build_injections(self.topo, next)?;
         Ok(self.transition(&prev_inj, &next_inj, max_events_factor))
     }
+
+    /// Open a persistent [`CampaignSession`]: a warm routing state that
+    /// deploys successive configurations as epoch transitions instead of
+    /// cold-starting each one.
+    pub fn session(&self) -> CampaignSession<'_, 't> {
+        CampaignSession::new(self)
+    }
+}
+
+/// A persistent deployment session over one engine: the first deployment
+/// cold-starts, every later one is applied as an epoch transition on top
+/// of the previous converged state — what a real origin does when it
+/// reconfigures announcements on a live prefix.
+///
+/// Path-vector fixpoints under Gao-Rexford-compliant policies are unique
+/// (the stable-paths problem is safe), so the warm state converges to
+/// exactly the cold-start state of each configuration: `best` and
+/// `candidates` (and hence catchments) are identical to
+/// [`BgpEngine::propagate`] for the same injections. The per-epoch
+/// `events`/`rounds`/`changes` describe only the transition — usually a
+/// small fraction of a cold start, which is where the campaign speedup
+/// comes from. If an epoch hits the event cap, the session falls back to
+/// a cold restart of that configuration so the reported outcome is the
+/// cold one, bit for bit.
+///
+/// With **policy violators** the stable state is *not* unique (BGP
+/// wedgies): a transition can legitimately converge to a different stable
+/// state than a cold start, and no check on the reached state can tell
+/// them apart. To preserve the cold-oracle contract the session detects
+/// this at creation ([`crate::policy::PolicyTable::num_violators`]` > 0`)
+/// and transparently cold-starts every deployment instead of reusing the
+/// epoch — correctness first, speed only where it is sound.
+pub struct CampaignSession<'e, 't> {
+    sim: Simulation<'e, 't>,
+    deployed: bool,
+    warm_reuse: bool,
+    deployments: usize,
+    cold_restarts: usize,
+}
+
+impl<'e, 't> CampaignSession<'e, 't> {
+    /// Open a session with empty RIBs (nothing deployed yet).
+    pub fn new(engine: &'e BgpEngine<'t>) -> CampaignSession<'e, 't> {
+        CampaignSession {
+            sim: Simulation::new(engine),
+            deployed: false,
+            warm_reuse: engine.policy.num_violators() == 0,
+            deployments: 0,
+            cold_restarts: 0,
+        }
+    }
+
+    /// Whether deployments actually reuse the previous epoch's state.
+    /// `false` when the engine has policy violators: their non-unique
+    /// stable states make transitions history-dependent, so the session
+    /// cold-starts each deployment to stay bit-identical to the oracle.
+    pub fn warm_reuse(&self) -> bool {
+        self.warm_reuse
+    }
+
+    /// Deploy a set of injections, replacing whatever is currently
+    /// announced, and run to fixpoint.
+    pub fn deploy(&mut self, injections: &[Injection], max_events_factor: usize) -> RoutingOutcome {
+        self.deployments += 1;
+        let warm = self.deployed && self.warm_reuse;
+        if self.deployed && !self.warm_reuse {
+            self.reset();
+        }
+        if warm {
+            self.sim.converged = true;
+            self.sim.begin_epoch();
+            self.sim.replace_injections(injections);
+        } else {
+            self.sim.apply_injections(injections);
+            self.deployed = true;
+        }
+        self.sim.run(max_events_factor);
+        if warm && !self.sim.converged {
+            // The transition hit the event cap. Redo this configuration
+            // from empty RIBs so its outcome (including the converged
+            // flag) is exactly what a cold start reports.
+            self.cold_restarts += 1;
+            self.reset();
+            self.sim.apply_injections(injections);
+            self.deployed = true;
+            self.sim.run(max_events_factor);
+        }
+        self.sim.snapshot_cloned()
+    }
+
+    /// Validate a configuration against the origin, build injections, and
+    /// [`CampaignSession::deploy`] them.
+    pub fn deploy_config(
+        &mut self,
+        origin: &OriginAs,
+        announcements: &[LinkAnnouncement],
+        max_events_factor: usize,
+    ) -> Result<RoutingOutcome, OriginError> {
+        let inj = origin.build_injections(self.sim.engine.topo, announcements)?;
+        Ok(self.deploy(&inj, max_events_factor))
+    }
+
+    /// Drop all routing state: the next deployment cold-starts.
+    pub fn reset(&mut self) {
+        self.sim = Simulation::new(self.sim.engine);
+        self.deployed = false;
+    }
+
+    /// Configurations deployed through this session.
+    pub fn deployments(&self) -> usize {
+        self.deployments
+    }
+
+    /// Warm epochs that hit the event cap and were redone cold.
+    pub fn cold_restarts(&self) -> usize {
+        self.cold_restarts
+    }
 }
 
 /// Mutable propagation state: per-AS direct routes, Adj-RIB-Ins, best
@@ -311,10 +423,7 @@ impl<'e, 't> Simulation<'e, 't> {
         Simulation {
             engine,
             direct: vec![Vec::new(); n],
-            ribs: topo
-                .indices()
-                .map(|i| vec![None; topo.degree(i)])
-                .collect(),
+            ribs: topo.indices().map(|i| vec![None; topo.degree(i)]).collect(),
             best: vec![None; n],
             queue: VecDeque::new(),
             in_queue: vec![false; n],
@@ -407,7 +516,10 @@ impl<'e, 't> Simulation<'e, 't> {
                 round: self.depth[i.us()],
                 at: i,
                 ingress: self.best[i.us()].as_ref().map(|r| r.ingress),
-                path_len: self.best[i.us()].as_ref().map(|r| r.path_len()).unwrap_or(0),
+                path_len: self.best[i.us()]
+                    .as_ref()
+                    .map(|r| r.path_len())
+                    .unwrap_or(0),
             });
             let own_asn = engine.topo.asn_of(i);
             // Export (or withdraw) toward every neighbor.
@@ -438,11 +550,7 @@ impl<'e, 't> Simulation<'e, 't> {
                                 path,
                                 ingress: r.ingress,
                                 from_neighbor: Some(i),
-                                local_pref: engine.policy.local_pref(
-                                    j,
-                                    Some(i),
-                                    i_kind_from_j,
-                                ),
+                                local_pref: engine.policy.local_pref(j, Some(i), i_kind_from_j),
                                 learned_from: i_kind_from_j,
                                 // First-hop semantics: stripped on export.
                                 communities: CommunitySet::empty(),
@@ -453,9 +561,7 @@ impl<'e, 't> Simulation<'e, 't> {
                     }
                     _ => None,
                 };
-                let pos = engine
-                    .neighbor_pos(j, i)
-                    .expect("adjacency is symmetric");
+                let pos = engine.neighbor_pos(j, i).expect("adjacency is symmetric");
                 if self.ribs[j.us()][pos] != offer {
                     self.ribs[j.us()][pos] = offer;
                     self.pending_depth[j.us()] =
@@ -483,6 +589,28 @@ impl<'e, 't> Simulation<'e, 't> {
             events: self.events,
             rounds: self.max_depth,
             changes: self.changes,
+            converged: self.converged,
+        }
+    }
+
+    /// Non-consuming snapshot: the simulation stays alive for further
+    /// epochs (the [`CampaignSession`] path).
+    fn snapshot_cloned(&self) -> RoutingOutcome {
+        let candidates = (0..self.direct.len())
+            .map(|i| {
+                self.direct[i]
+                    .iter()
+                    .cloned()
+                    .chain(self.ribs[i].iter().flatten().cloned())
+                    .collect()
+            })
+            .collect();
+        RoutingOutcome {
+            best: self.best.clone(),
+            candidates,
+            events: self.events,
+            rounds: self.max_depth,
+            changes: self.changes.clone(),
             converged: self.converged,
         }
     }
@@ -518,12 +646,12 @@ mod tests {
     /// ```
     fn fig2_topology() -> trackdown_topology::Topology {
         topology_from_links([
-            (Asn(1), Asn(2), LinkKind::PeerPeer),          // t1-t2
-            (Asn(1), Asn(10), LinkKind::ProviderCustomer), // t1 -> x
-            (Asn(1), Asn(11), LinkKind::ProviderCustomer), // t1 -> n
-            (Asn(2), Asn(12), LinkKind::ProviderCustomer), // t2 -> u
-            (Asn(2), Asn(13), LinkKind::ProviderCustomer), // t2 -> y
-            (Asn(11), Asn(12), LinkKind::PeerPeer),        // n-u peering
+            (Asn(1), Asn(2), LinkKind::PeerPeer),           // t1-t2
+            (Asn(1), Asn(10), LinkKind::ProviderCustomer),  // t1 -> x
+            (Asn(1), Asn(11), LinkKind::ProviderCustomer),  // t1 -> n
+            (Asn(2), Asn(12), LinkKind::ProviderCustomer),  // t2 -> u
+            (Asn(2), Asn(13), LinkKind::ProviderCustomer),  // t2 -> y
+            (Asn(11), Asn(12), LinkKind::PeerPeer),         // n-u peering
             (Asn(12), Asn(20), LinkKind::ProviderCustomer), // u -> a
             (Asn(12), Asn(21), LinkKind::ProviderCustomer), // u -> b
         ])
@@ -550,9 +678,7 @@ mod tests {
         let topo = fig2_topology();
         let engine = BgpEngine::new(&topo, &clean_config());
         let o = origin_xny();
-        let out = engine
-            .propagate_config(&o, &all_plain(&o), 200)
-            .unwrap();
+        let out = engine.propagate_config(&o, &all_plain(&o), 200).unwrap();
         assert!(out.converged);
         assert_eq!(out.reachable_count(), topo.num_ases());
     }
@@ -669,7 +795,11 @@ mod tests {
         // Baseline: both plain; s picks one by tiebreak.
         let out = engine.propagate_config(&o, &all_plain(&o), 200).unwrap();
         let baseline = out.catchment(is).unwrap();
-        let other = if baseline == LinkId(0) { LinkId(1) } else { LinkId(0) };
+        let other = if baseline == LinkId(0) {
+            LinkId(1)
+        } else {
+            LinkId(0)
+        };
 
         // Prepend on the baseline link: s must switch to the other link.
         let anns = vec![
@@ -768,9 +898,7 @@ mod tests {
         let base_members = Catchments::from_control_plane(&base)
             .members(scoped)
             .count();
-        let scoped_members = Catchments::from_control_plane(&out)
-            .members(scoped)
-            .count();
+        let scoped_members = Catchments::from_control_plane(&out).members(scoped).count();
         assert!(scoped_members <= base_members);
     }
 
@@ -808,7 +936,9 @@ mod tests {
         assert_eq!(out.catchment(p), Some(target));
         // ...but the link attracts at most as many remote ASes as before
         // (it loses every tie the path length used to decide).
-        let before = Catchments::from_control_plane(&base).members(target).count();
+        let before = Catchments::from_control_plane(&base)
+            .members(target)
+            .count();
         let after = Catchments::from_control_plane(&out).members(target).count();
         assert!(after <= before, "prepend community attracted traffic?");
     }
@@ -874,7 +1004,9 @@ mod tests {
             .map(LinkAnnouncement::plain)
             .collect();
         let before = engine.propagate_config(&origin, &all, 200).unwrap();
-        let warm = engine.transition_config(&origin, &all, &subset, 200).unwrap();
+        let warm = engine
+            .transition_config(&origin, &all, &subset, 200)
+            .unwrap();
         // Every AS whose final route differs appears in the change log;
         // ASes that kept their route emit nothing.
         let changed: std::collections::HashSet<AsIndex> =
@@ -905,8 +1037,113 @@ mod tests {
         let warm = engine.transition_config(&origin, &all, &all, 200).unwrap();
         // Re-announcing the identical configuration changes nothing: the
         // direct routes are replaced by equal ones and no AS re-decides.
-        assert!(warm.changes.is_empty(), "{} spurious changes", warm.changes.len());
+        assert!(
+            warm.changes.is_empty(),
+            "{} spurious changes",
+            warm.changes.len()
+        );
         assert_eq!(warm.rounds, 0);
+    }
+
+    #[test]
+    fn transition_epoch_accounting_is_per_epoch() {
+        use trackdown_topology::gen::{generate, TopologyConfig};
+        let g = generate(&TopologyConfig::small(29));
+        let origin = OriginAs::peering_style(&g, 4);
+        let engine = BgpEngine::new(&g.topology, &clean_config());
+        let all: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let subset: Vec<_> = origin
+            .link_ids()
+            .take(2)
+            .map(LinkAnnouncement::plain)
+            .collect();
+        let cold_prev = engine.propagate_config(&origin, &all, 200).unwrap();
+        let warm = engine
+            .transition_config(&origin, &all, &subset, 200)
+            .unwrap();
+        // `events`/`rounds`/`changes` cover only the transition epoch: if
+        // they accumulated across epochs they would exceed the first
+        // epoch's cold-start counts.
+        assert!(warm.events < cold_prev.events);
+        // Withdrawal churn is real: withdrawing links moves at least the
+        // withdrawn links' former members, so the epoch log is non-empty.
+        assert!(!warm.changes.is_empty());
+        // Change rounds start again from the new epoch's frontier.
+        let max_round = warm.changes.iter().map(|c| c.round).max().unwrap();
+        assert_eq!(max_round, warm.rounds);
+    }
+
+    #[test]
+    fn session_deployments_match_cold_starts_exactly() {
+        use trackdown_topology::gen::{generate, TopologyConfig};
+        let g = generate(&TopologyConfig::small(30));
+        let origin = OriginAs::peering_style(&g, 4);
+        let engine = BgpEngine::new(&g.topology, &clean_config());
+        // A small schedule with withdrawals, prepends, and poisons.
+        let all: Vec<LinkAnnouncement> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let subset: Vec<LinkAnnouncement> = origin
+            .link_ids()
+            .filter(|l| l.0 != 2)
+            .map(LinkAnnouncement::plain)
+            .collect();
+        let prepended: Vec<LinkAnnouncement> = origin
+            .link_ids()
+            .map(|l| {
+                if l.0 == 0 {
+                    LinkAnnouncement::prepended(l)
+                } else {
+                    LinkAnnouncement::plain(l)
+                }
+            })
+            .collect();
+        let configs = [all.clone(), subset, prepended, all];
+        let mut session = engine.session();
+        for (k, anns) in configs.iter().enumerate() {
+            let warm = session.deploy_config(&origin, anns, 200).unwrap();
+            let cold = engine.propagate_config(&origin, anns, 200).unwrap();
+            assert_eq!(warm.best, cold.best, "config {k}: best routes differ");
+            assert_eq!(
+                warm.candidates, cold.candidates,
+                "config {k}: candidate sets differ"
+            );
+            assert_eq!(warm.converged, cold.converged);
+        }
+        assert_eq!(session.deployments(), configs.len());
+        assert_eq!(session.cold_restarts(), 0);
+    }
+
+    #[test]
+    fn session_redeploying_same_config_is_a_silent_epoch() {
+        use trackdown_topology::gen::{generate, TopologyConfig};
+        let g = generate(&TopologyConfig::small(31));
+        let origin = OriginAs::peering_style(&g, 3);
+        let engine = BgpEngine::new(&g.topology, &clean_config());
+        let all: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let mut session = engine.session();
+        let first = session.deploy_config(&origin, &all, 200).unwrap();
+        let again = session.deploy_config(&origin, &all, 200).unwrap();
+        assert!(again.changes.is_empty());
+        assert_eq!(again.rounds, 0);
+        assert_eq!(again.best, first.best);
+    }
+
+    #[test]
+    fn session_reset_cold_starts_the_next_deployment() {
+        use trackdown_topology::gen::{generate, TopologyConfig};
+        let g = generate(&TopologyConfig::small(32));
+        let origin = OriginAs::peering_style(&g, 3);
+        let engine = BgpEngine::new(&g.topology, &clean_config());
+        let all: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let cold = engine.propagate_config(&origin, &all, 200).unwrap();
+        let mut session = engine.session();
+        session.deploy_config(&origin, &all, 200).unwrap();
+        session.reset();
+        let after_reset = session.deploy_config(&origin, &all, 200).unwrap();
+        // After a reset the epoch is a genuine cold start again: the full
+        // change log reappears instead of a silent no-op epoch.
+        assert_eq!(after_reset.best, cold.best);
+        assert_eq!(after_reset.events, cold.events);
+        assert_eq!(after_reset.changes.len(), cold.changes.len());
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod route;
 
 pub use catchment::Catchments;
 pub use community::{Community, CommunitySet};
-pub use engine::{BgpEngine, EngineConfig, ForwardingPath, RouteChange, RoutingOutcome};
+pub use engine::{
+    BgpEngine, CampaignSession, EngineConfig, ForwardingPath, RouteChange, RoutingOutcome,
+};
 pub use origin::{Injection, LinkAnnouncement, OriginAs, OriginError, PeeringLink};
 pub use policy::{ComplianceFlags, PolicyConfig, PolicyTable};
 pub use route::{LinkId, Prefix, Route};
@@ -55,14 +57,13 @@ mod proptests {
 
     /// (link, provider-neighbor) poisoning pairs, mirroring the schedule
     /// generator's targeting strategy without depending on trackdown-core.
-    fn poison_pairs(
-        topo: &trackdown_topology::Topology,
-        origin: &OriginAs,
-    ) -> Vec<(LinkId, Asn)> {
+    fn poison_pairs(topo: &trackdown_topology::Topology, origin: &OriginAs) -> Vec<(LinkId, Asn)> {
         let providers: Vec<Asn> = origin.links.iter().map(|l| l.provider).collect();
         let mut out = Vec::new();
         for link in &origin.links {
-            let Some(p) = topo.index_of(link.provider) else { continue };
+            let Some(p) = topo.index_of(link.provider) else {
+                continue;
+            };
             for &(n, _) in topo.neighbors(p) {
                 let asn = topo.asn_of(n);
                 if asn != origin.asn && !providers.contains(&asn) {

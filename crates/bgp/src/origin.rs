@@ -201,7 +201,13 @@ impl OriginAs {
     /// PoP names follow the paper's Table I for the first seven links.
     pub fn peering_style(gen: &GeneratedTopology, n: usize) -> OriginAs {
         const POPS: [&str; 7] = [
-            "AMS-IX", "GRNet", "USC/ISI", "NEU", "Seattle-IX", "UFMG", "UW",
+            "AMS-IX",
+            "GRNet",
+            "USC/ISI",
+            "NEU",
+            "Seattle-IX",
+            "UFMG",
+            "UW",
         ];
         let topo = &gen.topology;
         // Candidates: small transits first (region-sorted, best-connected
@@ -222,19 +228,17 @@ impl OriginAs {
                 .then(y.2.cmp(&x.2)) // better-connected first within tier
                 .then(x.3.cmp(&y.3))
         });
-        let candidates: Vec<(u8, usize, Asn)> =
-            candidates.into_iter().map(|(r, _, c, a)| (r, c, a)).collect();
+        let candidates: Vec<(u8, usize, Asn)> = candidates
+            .into_iter()
+            .map(|(r, _, c, a)| (r, c, a))
+            .collect();
         let num_regions = gen.config.num_regions.max(1);
         let mut chosen: Vec<Asn> = Vec::with_capacity(n);
         let mut round = 0usize;
         while chosen.len() < n && round < n * num_regions + num_regions {
             let region = (round % num_regions) as u8;
             let rank = round / num_regions;
-            if let Some(&(_, _, a)) = candidates
-                .iter()
-                .filter(|(r, _, _)| *r == region)
-                .nth(rank)
-            {
+            if let Some(&(_, _, a)) = candidates.iter().filter(|(r, _, _)| *r == region).nth(rank) {
                 if !chosen.contains(&a) {
                     chosen.push(a);
                 }

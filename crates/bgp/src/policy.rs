@@ -278,7 +278,10 @@ mod tests {
         assert_eq!(p1, p2);
         assert!((100..=300).contains(&p1));
         // Stable across calls.
-        assert_eq!(p1, t.local_pref(i, Some(AsIndex(7)), NeighborKind::Provider));
+        assert_eq!(
+            p1,
+            t.local_pref(i, Some(AsIndex(7)), NeighborKind::Provider)
+        );
     }
 
     #[test]
@@ -330,10 +333,7 @@ mod tests {
     #[test]
     fn tier1_filters_customer_routes_with_other_tier1s() {
         let (topo, t) = table(0.0);
-        let t1: Vec<AsIndex> = topo
-            .indices()
-            .filter(|&i| t.is_tier1(i))
-            .collect();
+        let t1: Vec<AsIndex> = topo.indices().filter(|&i| t.is_tier1(i)).collect();
         assert!(t1.len() >= 2);
         let a = t1[0];
         let other_t1_asn = topo.asn_of(t1[1]);

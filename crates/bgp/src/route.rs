@@ -168,7 +168,10 @@ mod tests {
 
     #[test]
     fn prefix_display() {
-        assert_eq!(Prefix::new([184, 164, 224, 0], 24).to_string(), "184.164.224.0/24");
+        assert_eq!(
+            Prefix::new([184, 164, 224, 0], 24).to_string(),
+            "184.164.224.0/24"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! trackdown topology  [--scale S] [--seed N] [--out FILE]   # export as-rel
-//! trackdown campaign  [--scale S] [--seed N] [--measured] --out FILE
+//! trackdown campaign  [--scale S] [--seed N] [--measured] [--cold] --out FILE
 //! trackdown info      --dataset FILE
 //! trackdown localize  --dataset FILE --attacker ASN [--attacker ASN ...]
 //! trackdown hijack    --dataset FILE [--config K]
@@ -27,7 +27,7 @@ fn usage() -> ExitCode {
 
 USAGE:
   trackdown topology  [--scale small|medium|full] [--seed N] [--format as-rel|dot] [--out FILE]
-  trackdown campaign  [--scale small|medium|full] [--seed N] [--measured] --out FILE
+  trackdown campaign  [--scale small|medium|full] [--seed N] [--measured] [--cold] --out FILE
   trackdown info      --dataset FILE
   trackdown localize  --dataset FILE --attacker ASN [--attacker ASN ...] [--volume BYTES]
   trackdown hijack    --dataset FILE [--config K]"
@@ -52,7 +52,7 @@ impl Args {
                 return None;
             }
             match a.as_str() {
-                "--measured" => flags.push(a.clone()),
+                "--measured" | "--cold" => flags.push(a.clone()),
                 _ => {
                     i += 1;
                     values.push((a.clone(), args.get(i)?.clone()));
@@ -92,6 +92,7 @@ impl Args {
             opts.seed = s.parse().ok()?;
         }
         opts.measured = self.has("--measured");
+        opts.cold = self.has("--cold");
         Some(opts)
     }
 }
@@ -133,6 +134,14 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         campaign.configs.len(),
         campaign.tracked.len(),
         campaign.clustering.mean_size()
+    );
+    eprintln!(
+        "{:?} execution: {} propagations, {} memo hits, {} cold restarts, {} thread(s)",
+        campaign.stats.mode,
+        campaign.stats.propagations,
+        campaign.stats.memo_hits,
+        campaign.stats.cold_restarts,
+        campaign.stats.threads
     );
     let dataset = Dataset::from_campaign(&scenario.gen.topology, &scenario.origin, &campaign);
     let json = dataset.to_json().map_err(|e| e.to_string())?;
@@ -217,6 +226,7 @@ fn cmd_localize(args: &Args) -> Result<(), String> {
         clustering,
         records: Vec::new(),
         imputation: None,
+        stats: trackdown_core::localize::CampaignStats::default(),
     };
     let estimates =
         trackdown_core::localize::estimate_cluster_volumes(&campaign, &link_volumes, 10);
@@ -346,7 +356,13 @@ mod tests {
     #[test]
     fn args_parse_values_and_flags() {
         let a = Args::parse(&argv(&[
-            "--scale", "small", "--seed", "9", "--measured", "--out", "x.json",
+            "--scale",
+            "small",
+            "--seed",
+            "9",
+            "--measured",
+            "--out",
+            "x.json",
         ]))
         .unwrap();
         assert_eq!(a.get("--scale"), Some("small"));
@@ -369,7 +385,14 @@ mod tests {
     #[test]
     fn repeated_flags_accumulate_and_last_value_wins() {
         let a = Args::parse(&argv(&[
-            "--attacker", "AS1", "--attacker", "AS2", "--seed", "1", "--seed", "2",
+            "--attacker",
+            "AS1",
+            "--attacker",
+            "AS2",
+            "--seed",
+            "1",
+            "--seed",
+            "2",
         ]))
         .unwrap();
         assert_eq!(a.get_all("--attacker"), vec!["AS1", "AS2"]);
@@ -439,10 +462,7 @@ mod tests {
         ]))
         .unwrap();
         cmd_campaign(&a).expect("campaign");
-        let a = Args::parse(&argv(&[
-            "--dataset", &out_str, "--attacker", "AS999999999",
-        ]))
-        .unwrap();
+        let a = Args::parse(&argv(&["--dataset", &out_str, "--attacker", "AS999999999"])).unwrap();
         assert!(cmd_localize(&a).is_err());
         let _ = fs::remove_file(out);
     }

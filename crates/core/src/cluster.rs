@@ -102,8 +102,7 @@ impl Clustering {
                 let members: Vec<usize> = (0..self.sources.len())
                     .filter(|&k| self.assignment[k] == kappa)
                     .collect();
-                let inside: Vec<usize> =
-                    members.iter().copied().filter(|&k| alpha[k]).collect();
+                let inside: Vec<usize> = members.iter().copied().filter(|&k| alpha[k]).collect();
                 if inside.is_empty() || inside.len() == members.len() {
                     continue; // κ∩α = ∅ or κ∩α = κ: no split
                 }
@@ -305,7 +304,10 @@ mod tests {
     #[test]
     fn stats_and_ccdf() {
         let mut c = Clustering::single(sources(6));
-        c.refine(&cat(6, &[Some(0), Some(0), Some(0), Some(1), Some(1), Some(2)]));
+        c.refine(&cat(
+            6,
+            &[Some(0), Some(0), Some(0), Some(1), Some(1), Some(2)],
+        ));
         assert_eq!(c.num_clusters(), 3);
         let mut sizes = c.sizes();
         sizes.sort_unstable();
@@ -324,9 +326,45 @@ mod tests {
         let mut c = Clustering::single(sources(8));
         let mut prev = c.num_clusters();
         let configs = [
-            cat(8, &[Some(0), Some(0), Some(1), Some(1), Some(0), Some(1), Some(0), Some(1)]),
-            cat(8, &[Some(0), Some(1), Some(0), Some(1), Some(0), Some(1), Some(0), Some(1)]),
-            cat(8, &[Some(2), Some(2), Some(2), Some(2), Some(2), Some(2), Some(2), Some(2)]),
+            cat(
+                8,
+                &[
+                    Some(0),
+                    Some(0),
+                    Some(1),
+                    Some(1),
+                    Some(0),
+                    Some(1),
+                    Some(0),
+                    Some(1),
+                ],
+            ),
+            cat(
+                8,
+                &[
+                    Some(0),
+                    Some(1),
+                    Some(0),
+                    Some(1),
+                    Some(0),
+                    Some(1),
+                    Some(0),
+                    Some(1),
+                ],
+            ),
+            cat(
+                8,
+                &[
+                    Some(2),
+                    Some(2),
+                    Some(2),
+                    Some(2),
+                    Some(2),
+                    Some(2),
+                    Some(2),
+                    Some(2),
+                ],
+            ),
         ];
         for cfg in &configs {
             c.refine(cfg);

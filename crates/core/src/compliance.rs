@@ -80,9 +80,7 @@ pub fn fraction_cdf(mut values: Vec<f64>) -> Vec<(f64, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trackdown_bgp::{
-        BgpEngine, EngineConfig, LinkAnnouncement, OriginAs, PolicyConfig,
-    };
+    use trackdown_bgp::{BgpEngine, EngineConfig, LinkAnnouncement, OriginAs, PolicyConfig};
     use trackdown_topology::gen::{generate, TopologyConfig};
 
     fn run(violators: f64) -> ComplianceSample {

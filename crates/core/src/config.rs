@@ -163,11 +163,7 @@ impl AnnouncementConfig {
                 link: l,
                 prepend: self.prepend.contains(&l),
                 poisons: self.poison.get(&l).cloned().unwrap_or_default(),
-                communities: self
-                    .communities
-                    .get(&l)
-                    .cloned()
-                    .unwrap_or_default(),
+                communities: self.communities.get(&l).cloned().unwrap_or_default(),
             })
             .collect()
     }
@@ -175,6 +171,18 @@ impl AnnouncementConfig {
     /// Number of links withdrawn relative to a full footprint of `n`.
     pub fn withdrawn_count(&self, n: usize) -> usize {
         n.saturating_sub(self.announce.len())
+    }
+
+    /// Canonical announcement footprint: a key over everything that
+    /// affects routing (`A`, `P`, `Q`, communities) and nothing that does
+    /// not (`phase`, empty poison lists, empty community sets). Two
+    /// configurations with equal keys lower to identical injections and
+    /// therefore identical routing outcomes — the invariant the campaign
+    /// memo cache relies on.
+    pub fn footprint_key(&self) -> String {
+        // The Display rendering is already canonical: BTree iteration
+        // order, no phase, empty Q/community entries skipped.
+        self.to_string()
     }
 }
 
@@ -268,16 +276,24 @@ mod tests {
         assert_eq!(empty.validate(&o), Err(ConfigError::EmptyAnnouncement));
 
         let unknown = AnnouncementConfig::anycast([LinkId(9)]);
-        assert_eq!(unknown.validate(&o), Err(ConfigError::UnknownLink(LinkId(9))));
+        assert_eq!(
+            unknown.validate(&o),
+            Err(ConfigError::UnknownLink(LinkId(9)))
+        );
 
         // Prepend at a link not in A.
         let bad_p = AnnouncementConfig::anycast([LinkId(0)]).with_prepend(LinkId(1));
-        assert_eq!(bad_p.validate(&o), Err(ConfigError::NotAnnounced(LinkId(1))));
+        assert_eq!(
+            bad_p.validate(&o),
+            Err(ConfigError::NotAnnounced(LinkId(1)))
+        );
 
         // Poison on a link not in A.
-        let bad_q =
-            AnnouncementConfig::anycast([LinkId(0)]).with_poison(LinkId(2), vec![Asn(5)]);
-        assert_eq!(bad_q.validate(&o), Err(ConfigError::NotAnnounced(LinkId(2))));
+        let bad_q = AnnouncementConfig::anycast([LinkId(0)]).with_poison(LinkId(2), vec![Asn(5)]);
+        assert_eq!(
+            bad_q.validate(&o),
+            Err(ConfigError::NotAnnounced(LinkId(2)))
+        );
     }
 
     #[test]

@@ -146,11 +146,7 @@ impl Dataset {
         self.tracked
             .iter()
             .map(|&s| {
-                let mut links: Vec<_> = self
-                    .catchments
-                    .iter()
-                    .filter_map(|c| c.get(s))
-                    .collect();
+                let mut links: Vec<_> = self.catchments.iter().filter_map(|c| c.get(s)).collect();
                 links.sort_unstable();
                 links.dedup();
                 links.len()
@@ -211,8 +207,7 @@ mod tests {
             for &t in &campaign.tracked {
                 assert_eq!(
                     rebuilt.cluster_of(s) == rebuilt.cluster_of(t),
-                    campaign.clustering.cluster_of(s)
-                        == campaign.clustering.cluster_of(t),
+                    campaign.clustering.cluster_of(s) == campaign.clustering.cluster_of(t),
                 );
             }
         }
@@ -240,10 +235,7 @@ mod tests {
         ));
         let mut bad = ds.clone();
         bad.catchments.pop();
-        assert!(matches!(
-            bad.validate(),
-            Err(DatasetError::Inconsistent(_))
-        ));
+        assert!(matches!(bad.validate(), Err(DatasetError::Inconsistent(_))));
         let mut bad = ds;
         bad.tracked.push(AsIndex(1_000_000));
         assert!(matches!(bad.validate(), Err(DatasetError::Inconsistent(_))));

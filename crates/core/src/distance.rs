@@ -169,10 +169,8 @@ mod tests {
         // trend).
         let g = generate(&TopologyConfig::medium(41));
         let origin = OriginAs::peering_style(&g, 4);
-        let engine = trackdown_bgp::BgpEngine::new(
-            &g.topology,
-            &trackdown_bgp::EngineConfig::default(),
-        );
+        let engine =
+            trackdown_bgp::BgpEngine::new(&g.topology, &trackdown_bgp::EngineConfig::default());
         let schedule = crate::generator::full_schedule(
             &g.topology,
             &origin,
@@ -189,8 +187,7 @@ mod tests {
             None,
             200,
         );
-        let groups =
-            cluster_size_by_distance(&g.topology, &origin, &campaign.clustering, 4);
+        let groups = cluster_size_by_distance(&g.topology, &origin, &campaign.clustering, 4);
         // Note: a PoP provider shares its cluster with its single-homed
         // customers (they follow its choices in every configuration), so
         // group means at 1–2 hops legitimately include those blocks; only

@@ -23,9 +23,7 @@ pub fn footprint_config_indices(
     configs
         .iter()
         .enumerate()
-        .filter(|(_, c)| {
-            c.phase != Phase::Poison && c.announce.iter().all(|l| keep.contains(l))
-        })
+        .filter(|(_, c)| c.phase != Phase::Poison && c.announce.iter().all(|l| keep.contains(l)))
         .map(|(i, _)| i)
         .collect()
 }
@@ -155,9 +153,10 @@ mod tests {
         }
         let fps2 = footprints_removing(7, 2);
         assert_eq!(fps2.len(), 21);
-        assert_eq!(footprints_removing(3, 0), vec![
-            (0..3).map(LinkId).collect::<BTreeSet<_>>()
-        ]);
+        assert_eq!(
+            footprints_removing(3, 0),
+            vec![(0..3).map(LinkId).collect::<BTreeSet<_>>()]
+        );
     }
 
     #[test]
@@ -165,10 +164,8 @@ mod tests {
         // Using fewer configurations can only coarsen the partition.
         let g = generate(&TopologyConfig::small(33));
         let origin = OriginAs::peering_style(&g, 4);
-        let engine = trackdown_bgp::BgpEngine::new(
-            &g.topology,
-            &trackdown_bgp::EngineConfig::default(),
-        );
+        let engine =
+            trackdown_bgp::BgpEngine::new(&g.topology, &trackdown_bgp::EngineConfig::default());
         let schedule = full_schedule(
             &g.topology,
             &origin,
@@ -207,10 +204,8 @@ mod tests {
     fn trajectory_matches_clustering() {
         let g = generate(&TopologyConfig::small(34));
         let origin = OriginAs::peering_style(&g, 3);
-        let engine = trackdown_bgp::BgpEngine::new(
-            &g.topology,
-            &trackdown_bgp::EngineConfig::default(),
-        );
+        let engine =
+            trackdown_bgp::BgpEngine::new(&g.topology, &trackdown_bgp::EngineConfig::default());
         let schedule = full_schedule(
             &g.topology,
             &origin,

@@ -81,9 +81,7 @@ pub fn location_phase(num_links: usize, max_removals: usize) -> Vec<Announcement
     for removed in 0..=max_removals {
         let size = num_links - removed;
         for subset in subsets_of_size(num_links, size) {
-            out.push(AnnouncementConfig::anycast(
-                subset.into_iter().map(LinkId),
-            ));
+            out.push(AnnouncementConfig::anycast(subset.into_iter().map(LinkId)));
         }
     }
     out
@@ -162,9 +160,7 @@ pub fn poison_phase(
     }
     targets
         .into_iter()
-        .map(|t| {
-            AnnouncementConfig::anycast(origin.link_ids()).with_poison(t.via, vec![t.target])
-        })
+        .map(|t| AnnouncementConfig::anycast(origin.link_ids()).with_poison(t.via, vec![t.target]))
         .collect()
 }
 
@@ -203,8 +199,7 @@ pub fn community_phase(origin: &OriginAs) -> Vec<AnnouncementConfig> {
             CommunitySet::from_vec(vec![Community::PrependAtProvider(4)]),
         ] {
             out.push(
-                AnnouncementConfig::anycast(origin.link_ids())
-                    .with_communities(link, communities),
+                AnnouncementConfig::anycast(origin.link_ids()).with_communities(link, communities),
             );
         }
     }
@@ -299,8 +294,7 @@ mod tests {
                 let expected: usize = (0..=r).map(|x| choose(n, n - x)).sum();
                 assert_eq!(loc.len(), expected, "n={n} r={r}");
                 let pre = prepend_phase(&loc);
-                let expected_pre: usize =
-                    (0..=r).map(|x| (n - x) * choose(n, n - x)).sum();
+                let expected_pre: usize = (0..=r).map(|x| (n - x) * choose(n, n - x)).sum();
                 assert_eq!(pre.len(), expected_pre, "n={n} r={r}");
             }
         }

@@ -136,10 +136,7 @@ pub fn subprefix_hijack_impact(
         // assigned source to the hijacker, regardless of catchments.
         None => {
             let assigned = match tracked {
-                Some(set) => set
-                    .iter()
-                    .filter(|&&s| covering.get(s).is_some())
-                    .count(),
+                Some(set) => set.iter().filter(|&&s| covering.get(s).is_some()).count(),
                 None => covering.assigned_count(),
             };
             HijackImpact {
@@ -266,8 +263,7 @@ mod tests {
         // With the defender matching the prefix length, the outcome is the
         // ordinary catchment competition again.
         let competing = catchments(&[0, 0, 0, 1]);
-        let mitigated =
-            subprefix_hijack_impact(&covering, Some(&competing), &scenario, None);
+        let mitigated = subprefix_hijack_impact(&covering, Some(&competing), &scenario, None);
         assert!((mitigated.capture_fraction - 0.25).abs() < 1e-9);
         // Tracked restriction applies to the unmitigated case too.
         let tracked = [AsIndex(0)];
@@ -292,11 +288,11 @@ mod tests {
         let all: BTreeSet<LinkId> = origin.link_ids().collect();
         let impacts = all_impacts(&cat, &all, None);
         assert_eq!(impacts.len(), 14); // 2^4 - 2
-        // Capture fractions are complementary for complementary scenarios.
-        let total: f64 = impacts
-            .iter()
-            .map(|i| i.capture_fraction)
-            .sum();
-        assert!((total - 7.0).abs() < 1e-6, "pairs must sum to 1 each: {total}");
+                                       // Capture fractions are complementary for complementary scenarios.
+        let total: f64 = impacts.iter().map(|i| i.capture_fraction).sum();
+        assert!(
+            (total - 7.0).abs() < 1e-6,
+            "pairs must sum to 1 each: {total}"
+        );
     }
 }

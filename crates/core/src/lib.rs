@@ -62,13 +62,13 @@ pub mod schedule;
 pub mod targeting;
 
 pub use cluster::{cluster_catchments, Clustering};
-pub use dataset::Dataset;
 pub use config::{AnnouncementConfig, ConfigError, Phase};
+pub use dataset::Dataset;
 pub use generator::{full_schedule, GeneratorParams};
 pub use localize::{
-    run_campaign_parallel,
-    estimate_cluster_volumes, rank_suspects, run_campaign, Campaign, CatchmentSource,
-    SuspectCluster, VolumeEstimate,
+    estimate_cluster_volumes, rank_suspects, run_campaign, run_campaign_mode,
+    run_campaign_parallel, run_campaign_parallel_mode, Campaign, CampaignMode, CampaignStats,
+    CatchmentSource, SuspectCluster, VolumeEstimate,
 };
 
 #[cfg(test)]

@@ -4,9 +4,13 @@
 
 use crate::cluster::Clustering;
 use crate::config::AnnouncementConfig;
+use crate::schedule::warm_start_order;
 use serde::{Deserialize, Serialize};
-use trackdown_bgp::{BgpEngine, Catchments, LinkId, OriginAs};
-use trackdown_measure::{analysis_set, impute_visibility, ImputationStats, MeasurementPlane};
+use std::collections::HashMap;
+use trackdown_bgp::{BgpEngine, Catchments, LinkId, OriginAs, RoutingOutcome};
+use trackdown_measure::{
+    analysis_set, impute_visibility, ImputationStats, MeasuredCatchments, MeasurementPlane,
+};
 use trackdown_topology::AsIndex;
 
 /// How catchments are obtained for each configuration.
@@ -20,6 +24,54 @@ pub enum CatchmentSource {
     /// Measured through the observation plane with §IV-d visibility
     /// imputation.
     Measured,
+}
+
+/// How the campaign executor drives the BGP engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignMode {
+    /// Warm-start epoch reuse: one persistent routing session per worker
+    /// deploys configurations as epoch transitions in footprint-distance
+    /// order, with a memo cache that skips duplicate footprints. Results
+    /// are identical to [`CampaignMode::Cold`]: Gao-Rexford fixpoints are
+    /// unique, and on engines with policy violators (where stable states
+    /// are *not* unique) the session transparently cold-starts each
+    /// deployment instead of reusing the epoch — see
+    /// [`trackdown_bgp::CampaignSession::warm_reuse`]. Only wall-clock
+    /// time may differ from `Cold`, never the campaign.
+    Warm,
+    /// Cold start: every configuration propagates from empty RIBs in
+    /// schedule order — the original executor, kept as the oracle the
+    /// differential tests compare against.
+    Cold,
+}
+
+/// Executor counters reported alongside a [`Campaign`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Which executor produced the campaign.
+    pub mode: CampaignMode,
+    /// Fixpoint computations actually run (≤ number of configurations
+    /// when the memo cache hits).
+    pub propagations: usize,
+    /// Configurations served from the footprint memo cache without
+    /// touching the engine.
+    pub memo_hits: usize,
+    /// Warm epochs that hit the event cap and were redone cold.
+    pub cold_restarts: usize,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl Default for CampaignStats {
+    fn default() -> CampaignStats {
+        CampaignStats {
+            mode: CampaignMode::Warm,
+            propagations: 0,
+            memo_hits: 0,
+            cold_restarts: 0,
+            threads: 1,
+        }
+    }
 }
 
 /// Per-configuration snapshot recorded while a campaign runs.
@@ -51,6 +103,8 @@ pub struct Campaign {
     pub records: Vec<ConfigRecord>,
     /// Visibility-imputation statistics (measured campaigns only).
     pub imputation: Option<ImputationStats>,
+    /// Executor counters (mode, propagations, memo hits).
+    pub stats: CampaignStats,
 }
 
 /// Deploy every configuration and cluster the catchments.
@@ -67,61 +121,51 @@ pub fn run_campaign(
     plane: Option<&MeasurementPlane>,
     max_events_factor: usize,
 ) -> Campaign {
-    assert!(!configs.is_empty(), "empty schedule");
-    let topo = engine.topology();
-    let mut catchments: Vec<Catchments> = Vec::with_capacity(configs.len());
-    let mut converged: Vec<bool> = Vec::with_capacity(configs.len());
-    let mut measured = Vec::with_capacity(configs.len());
-    for (k, cfg) in configs.iter().enumerate() {
-        cfg.validate(origin).expect("invalid configuration");
-        let outcome = engine
-            .propagate_config(origin, &cfg.to_link_announcements(), max_events_factor)
-            .expect("validated configuration");
-        converged.push(outcome.converged);
-        match source {
-            CatchmentSource::ControlPlane => {
-                catchments.push(Catchments::from_control_plane(&outcome));
-            }
-            CatchmentSource::DataPlane => {
-                catchments.push(Catchments::from_data_plane(&outcome));
-            }
-            CatchmentSource::Measured => {
-                let plane = plane.expect("Measured campaigns need a MeasurementPlane");
-                measured.push(plane.measure(topo, &outcome, origin.asn, k as u64));
-            }
+    run_campaign_mode(
+        engine,
+        origin,
+        configs,
+        source,
+        plane,
+        max_events_factor,
+        CampaignMode::Warm,
+    )
+}
+
+/// Extract the requested ground-truth catchments from a routing outcome.
+fn extract_catchments(source: CatchmentSource, outcome: &RoutingOutcome) -> Catchments {
+    match source {
+        CatchmentSource::ControlPlane => Catchments::from_control_plane(outcome),
+        CatchmentSource::DataPlane => Catchments::from_data_plane(outcome),
+        CatchmentSource::Measured => {
+            unreachable!("measured catchments come from the observation plane")
         }
     }
+}
 
-    let (tracked, imputation) = match source {
-        CatchmentSource::Measured => {
-            let stats = impute_visibility(&mut measured, 0);
-            let tracked = analysis_set(&measured, 0);
-            catchments = measured.into_iter().map(|m| m.catchments).collect();
-            (tracked, Some(stats))
-        }
-        _ => {
-            // Track every source the baseline reaches.
-            let tracked: Vec<AsIndex> = topo
-                .indices()
-                .filter(|&i| catchments[0].get(i).is_some())
-                .collect();
-            (tracked, None)
-        }
-    };
-
+/// Cluster the catchments and assemble the final [`Campaign`] — the tail
+/// shared by every executor. Refinement runs in schedule (index) order,
+/// so campaigns are identical however the executor ordered deployments.
+fn assemble_campaign(
+    configs: &[AnnouncementConfig],
+    catchments: Vec<Catchments>,
+    converged: Vec<bool>,
+    tracked: Vec<AsIndex>,
+    imputation: Option<ImputationStats>,
+    stats: CampaignStats,
+) -> Campaign {
     let mut clustering = Clustering::single(tracked.clone());
     let mut records = Vec::with_capacity(configs.len());
     for (k, cat) in catchments.iter().enumerate() {
         clustering.refine(cat);
-        let stats = clustering.stats();
+        let cstats = clustering.stats();
         records.push(ConfigRecord {
             mean_cluster_size: clustering.mean_size(),
-            p90_cluster_size: stats.p90,
+            p90_cluster_size: cstats.p90,
             num_clusters: clustering.num_clusters(),
             converged: converged[k],
         });
     }
-
     Campaign {
         configs: configs.to_vec(),
         catchments,
@@ -129,7 +173,121 @@ pub fn run_campaign(
         clustering,
         records,
         imputation,
+        stats,
     }
+}
+
+/// [`run_campaign`] with an explicit executor mode.
+///
+/// `Warm` deploys through one persistent [`trackdown_bgp::CampaignSession`]
+/// in [`warm_start_order`] (greedy footprint-distance chaining), skipping
+/// duplicate footprints via a memo cache keyed by the canonical ⟨A;P;Q⟩
+/// footprint. `Cold` propagates every configuration from empty RIBs in
+/// schedule order. Both produce byte-identical campaigns: catchments and
+/// convergence flags depend only on each configuration's fixpoint (the
+/// session cold-starts internally on violator engines, where fixpoints
+/// are history-dependent), results are stored by schedule index, and
+/// clustering always refines in schedule order. The memo cache is sound
+/// either way — identical footprints lower to identical injections, and
+/// each deployment's outcome is a pure function of its injections.
+/// The memo cache is disabled for `Measured` campaigns
+/// (the observation plane salts its noise by schedule index, so duplicate
+/// footprints still measure differently), but the warm session still
+/// skips most convergence work.
+pub fn run_campaign_mode(
+    engine: &BgpEngine<'_>,
+    origin: &OriginAs,
+    configs: &[AnnouncementConfig],
+    source: CatchmentSource,
+    plane: Option<&MeasurementPlane>,
+    max_events_factor: usize,
+    mode: CampaignMode,
+) -> Campaign {
+    assert!(!configs.is_empty(), "empty schedule");
+    let topo = engine.topology();
+    let n = configs.len();
+    let mut catchments_by_k: Vec<Option<Catchments>> = vec![None; n];
+    let mut converged_by_k: Vec<Option<bool>> = vec![None; n];
+    let mut measured_by_k: Vec<Option<MeasuredCatchments>> = (0..n).map(|_| None).collect();
+    let order = match mode {
+        CampaignMode::Warm => warm_start_order(configs),
+        CampaignMode::Cold => (0..n).collect(),
+    };
+    let mut session = engine.session();
+    let mut memo: HashMap<String, usize> = HashMap::new();
+    let mut stats = CampaignStats {
+        mode,
+        ..CampaignStats::default()
+    };
+    for &k in &order {
+        let cfg = &configs[k];
+        cfg.validate(origin).expect("invalid configuration");
+        let memo_key = match (mode, source) {
+            (CampaignMode::Warm, CatchmentSource::ControlPlane | CatchmentSource::DataPlane) => {
+                Some(cfg.footprint_key())
+            }
+            _ => None,
+        };
+        if let Some(key) = &memo_key {
+            if let Some(&j) = memo.get(key) {
+                stats.memo_hits += 1;
+                catchments_by_k[k] = catchments_by_k[j].clone();
+                converged_by_k[k] = converged_by_k[j];
+                continue;
+            }
+        }
+        let outcome = match mode {
+            CampaignMode::Warm => {
+                session.deploy_config(origin, &cfg.to_link_announcements(), max_events_factor)
+            }
+            CampaignMode::Cold => {
+                engine.propagate_config(origin, &cfg.to_link_announcements(), max_events_factor)
+            }
+        }
+        .expect("validated configuration");
+        stats.propagations += 1;
+        converged_by_k[k] = Some(outcome.converged);
+        match source {
+            CatchmentSource::Measured => {
+                let plane = plane.expect("Measured campaigns need a MeasurementPlane");
+                measured_by_k[k] = Some(plane.measure(topo, &outcome, origin.asn, k as u64));
+            }
+            _ => catchments_by_k[k] = Some(extract_catchments(source, &outcome)),
+        }
+        if let Some(key) = memo_key {
+            memo.insert(key, k);
+        }
+    }
+    stats.cold_restarts = session.cold_restarts();
+    let converged: Vec<bool> = converged_by_k
+        .into_iter()
+        .map(|c| c.expect("every configuration deployed"))
+        .collect();
+    let (catchments, tracked, imputation) = match source {
+        CatchmentSource::Measured => {
+            let mut measured: Vec<MeasuredCatchments> = measured_by_k
+                .into_iter()
+                .map(|m| m.expect("every configuration measured"))
+                .collect();
+            let istats = impute_visibility(&mut measured, 0);
+            let tracked = analysis_set(&measured, 0);
+            let catchments = measured.into_iter().map(|m| m.catchments).collect();
+            (catchments, tracked, Some(istats))
+        }
+        _ => {
+            let catchments: Vec<Catchments> = catchments_by_k
+                .into_iter()
+                .map(|c| c.expect("every configuration deployed"))
+                .collect();
+            // Track every source the baseline reaches.
+            let tracked: Vec<AsIndex> = topo
+                .indices()
+                .filter(|&i| catchments[0].get(i).is_some())
+                .collect();
+            (catchments, tracked, None)
+        }
+    };
+    assemble_campaign(configs, catchments, converged, tracked, imputation, stats)
 }
 
 /// Parallel variant of [`run_campaign`]: configurations are independent,
@@ -150,6 +308,35 @@ pub fn run_campaign_parallel(
     max_events_factor: usize,
     threads: usize,
 ) -> Campaign {
+    run_campaign_parallel_mode(
+        engine,
+        origin,
+        configs,
+        source,
+        max_events_factor,
+        threads,
+        CampaignMode::Warm,
+    )
+}
+
+/// [`run_campaign_parallel`] with an explicit executor mode.
+///
+/// Each worker owns one persistent warm session (and its own memo cache)
+/// over one contiguous chunk of the schedule, reordering deployments
+/// *within the chunk* by footprint distance. Chunk boundaries, the
+/// stored-by-index results, and the schedule-order clustering make the
+/// campaign independent of the thread count and identical to the
+/// sequential executors — only `stats` (per-worker counters summed) can
+/// differ across thread counts, because memo hits do not cross chunks.
+pub fn run_campaign_parallel_mode(
+    engine: &BgpEngine<'_>,
+    origin: &OriginAs,
+    configs: &[AnnouncementConfig],
+    source: CatchmentSource,
+    max_events_factor: usize,
+    threads: usize,
+    mode: CampaignMode,
+) -> Campaign {
     assert!(!configs.is_empty(), "empty schedule");
     assert!(
         source != CatchmentSource::Measured,
@@ -157,34 +344,73 @@ pub fn run_campaign_parallel(
     );
     let topo = engine.topology();
     let threads = threads.max(1);
+    let chunk_size = configs.len().div_ceil(threads);
     let mut results: Vec<Option<(Catchments, bool)>> = vec![None; configs.len()];
+    let mut stats = CampaignStats {
+        mode,
+        threads: configs.chunks(chunk_size).len(),
+        ..CampaignStats::default()
+    };
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for (t, chunk) in configs.chunks(configs.len().div_ceil(threads)).enumerate() {
-            let base = t * configs.len().div_ceil(threads);
+        for (t, chunk) in configs.chunks(chunk_size).enumerate() {
+            let base = t * chunk_size;
             handles.push(scope.spawn(move || {
-                let mut out = Vec::with_capacity(chunk.len());
-                for (off, cfg) in chunk.iter().enumerate() {
+                let order: Vec<usize> = match mode {
+                    CampaignMode::Warm => warm_start_order(chunk),
+                    CampaignMode::Cold => (0..chunk.len()).collect(),
+                };
+                let mut session = engine.session();
+                let mut memo: HashMap<String, usize> = HashMap::new();
+                let mut local: Vec<Option<(Catchments, bool)>> = vec![None; chunk.len()];
+                let mut propagations = 0usize;
+                let mut memo_hits = 0usize;
+                for &off in &order {
+                    let cfg = &chunk[off];
                     cfg.validate(origin).expect("invalid configuration");
-                    let outcome = engine
-                        .propagate_config(origin, &cfg.to_link_announcements(), max_events_factor)
-                        .expect("validated configuration");
-                    let cat = match source {
-                        CatchmentSource::ControlPlane => {
-                            Catchments::from_control_plane(&outcome)
+                    if mode == CampaignMode::Warm {
+                        let key = cfg.footprint_key();
+                        if let Some(&j) = memo.get(&key) {
+                            memo_hits += 1;
+                            local[off] = local[j].clone();
+                            continue;
                         }
-                        CatchmentSource::DataPlane => Catchments::from_data_plane(&outcome),
-                        CatchmentSource::Measured => unreachable!("checked above"),
-                    };
-                    out.push((base + off, cat, outcome.converged));
+                        memo.insert(key, off);
+                    }
+                    let outcome = match mode {
+                        CampaignMode::Warm => session.deploy_config(
+                            origin,
+                            &cfg.to_link_announcements(),
+                            max_events_factor,
+                        ),
+                        CampaignMode::Cold => engine.propagate_config(
+                            origin,
+                            &cfg.to_link_announcements(),
+                            max_events_factor,
+                        ),
+                    }
+                    .expect("validated configuration");
+                    propagations += 1;
+                    local[off] = Some((extract_catchments(source, &outcome), outcome.converged));
                 }
-                out
+                (
+                    base,
+                    local,
+                    propagations,
+                    memo_hits,
+                    session.cold_restarts(),
+                )
             }));
         }
         for h in handles {
-            for (idx, cat, conv) in h.join().expect("worker panicked") {
-                results[idx] = Some((cat, conv));
+            let (base, local, propagations, memo_hits, cold_restarts) =
+                h.join().expect("worker panicked");
+            for (off, r) in local.into_iter().enumerate() {
+                results[base + off] = r;
             }
+            stats.propagations += propagations;
+            stats.memo_hits += memo_hits;
+            stats.cold_restarts += cold_restarts;
         }
     });
     let mut catchments = Vec::with_capacity(configs.len());
@@ -198,26 +424,7 @@ pub fn run_campaign_parallel(
         .indices()
         .filter(|&i| catchments[0].get(i).is_some())
         .collect();
-    let mut clustering = Clustering::single(tracked.clone());
-    let mut records = Vec::with_capacity(configs.len());
-    for (k, cat) in catchments.iter().enumerate() {
-        clustering.refine(cat);
-        let stats = clustering.stats();
-        records.push(ConfigRecord {
-            mean_cluster_size: clustering.mean_size(),
-            p90_cluster_size: stats.p90,
-            num_clusters: clustering.num_clusters(),
-            converged: converged[k],
-        });
-    }
-    Campaign {
-        configs: configs.to_vec(),
-        catchments,
-        tracked,
-        clustering,
-        records,
-        imputation: None,
-    }
+    assemble_campaign(configs, catchments, converged, tracked, None, stats)
 }
 
 /// A cluster ranked by how much spoofed volume it can explain.
@@ -328,9 +535,7 @@ pub fn estimate_cluster_volumes(
                 .collect()
         })
         .collect();
-    let vol = |c: usize, l: LinkId| -> u64 {
-        link_volumes[c].get(l.us()).copied().unwrap_or(0)
-    };
+    let vol = |c: usize, l: LinkId| -> u64 { link_volumes[c].get(l.us()).copied().unwrap_or(0) };
     // Initial bounds.
     let mut upper: Vec<u64> = links
         .iter()
@@ -468,7 +673,11 @@ pub fn suspect_ases(suspects: &[SuspectCluster], coverage: f64) -> Vec<AsIndex> 
 /// Compute per-configuration per-link volumes for a set of per-AS volumes
 /// under the campaign's catchments — the honeypot-report matrix an origin
 /// would have recorded if those sources had been active throughout.
-pub fn link_volume_matrix(campaign: &Campaign, volume_per_as: &[u64], num_links: usize) -> Vec<Vec<u64>> {
+pub fn link_volume_matrix(
+    campaign: &Campaign,
+    volume_per_as: &[u64],
+    num_links: usize,
+) -> Vec<Vec<u64>> {
     campaign
         .catchments
         .iter()
@@ -526,7 +735,11 @@ mod tests {
         let first = campaign.records.first().unwrap();
         let last = campaign.records.last().unwrap();
         assert!(last.mean_cluster_size < first.mean_cluster_size);
-        assert!(last.mean_cluster_size < 5.0, "mean={}", last.mean_cluster_size);
+        assert!(
+            last.mean_cluster_size < 5.0,
+            "mean={}",
+            last.mean_cluster_size
+        );
         // Mean sizes never increase as configurations accumulate.
         for w in campaign.records.windows(2) {
             assert!(w[1].mean_cluster_size <= w[0].mean_cluster_size + 1e-9);
@@ -723,10 +936,7 @@ mod tests {
             );
             assert_eq!(par.catchments, seq.catchments, "threads={threads}");
             assert_eq!(par.tracked, seq.tracked);
-            assert_eq!(
-                par.clustering.num_clusters(),
-                seq.clustering.num_clusters()
-            );
+            assert_eq!(par.clustering.num_clusters(), seq.clustering.num_clusters());
             assert_eq!(par.records, seq.records);
         }
     }

@@ -15,7 +15,10 @@
 use crate::cluster::Clustering;
 use crate::config::AnnouncementConfig;
 use serde::{Deserialize, Serialize};
-use trackdown_bgp::{BgpEngine, Catchments, LinkId, OriginAs};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use trackdown_bgp::{BgpEngine, Catchments, LinkId, OriginAs, RoutingOutcome};
 use trackdown_topology::AsIndex;
 
 /// Options for the online loop.
@@ -200,6 +203,13 @@ pub fn localize_online(
 /// Simulation harness: run the online loop against ground-truth routing
 /// with a planted per-AS volume vector. Returns the result plus the number
 /// of configurations deployed.
+///
+/// Routing runs through one persistent warm [`CampaignSession`]: each
+/// deployed configuration is an epoch transition from the previous one
+/// (exactly what the live origin would do), and a memo cache keyed by the
+/// canonical announcement footprint lets the observe and measure callbacks
+/// for the same configuration share a single propagation. Fixpoint
+/// uniqueness keeps the outcomes identical to per-callback cold starts.
 pub fn simulate_online_attack(
     engine: &BgpEngine<'_>,
     origin: &OriginAs,
@@ -209,18 +219,28 @@ pub fn simulate_online_attack(
     volume_per_as: &[u64],
     opts: OnlineOptions,
 ) -> OnlineResult {
+    let session = RefCell::new(engine.session());
+    let memo: RefCell<HashMap<String, Rc<RoutingOutcome>>> = RefCell::new(HashMap::new());
+    let outcome_for = |cfg: &AnnouncementConfig| -> Rc<RoutingOutcome> {
+        let key = cfg.footprint_key();
+        if let Some(out) = memo.borrow().get(&key) {
+            return Rc::clone(out);
+        }
+        let out = Rc::new(
+            session
+                .borrow_mut()
+                .deploy_config(origin, &cfg.to_link_announcements(), 200)
+                .expect("valid config"),
+        );
+        memo.borrow_mut().insert(key, Rc::clone(&out));
+        out
+    };
     let observe = |cfg: &AnnouncementConfig| -> Vec<u64> {
-        let out = engine
-            .propagate_config(origin, &cfg.to_link_announcements(), 200)
-            .expect("valid config");
-        let cat = Catchments::from_data_plane(&out);
+        let cat = Catchments::from_data_plane(&outcome_for(cfg));
         trackdown_traffic::volume_per_link(&cat, volume_per_as, origin.num_links())
     };
     let measure = |_idx: usize, cfg: &AnnouncementConfig| -> Catchments {
-        let out = engine
-            .propagate_config(origin, &cfg.to_link_announcements(), 200)
-            .expect("valid config");
-        Catchments::from_control_plane(&out)
+        Catchments::from_control_plane(&outcome_for(cfg))
     };
     localize_online(candidates, prior, tracked, &observe, &measure, opts)
 }

@@ -64,7 +64,11 @@ impl<'t> CatchmentPredictor<'t> {
     pub fn predict(&self, origin: &OriginAs, config: &AnnouncementConfig) -> Catchments {
         let outcome = self
             .engine
-            .propagate_config(origin, &config.to_link_announcements(), self.max_events_factor)
+            .propagate_config(
+                origin,
+                &config.to_link_announcements(),
+                self.max_events_factor,
+            )
             .expect("valid configuration");
         Catchments::from_control_plane(&outcome)
     }

@@ -16,10 +16,7 @@ pub struct Series {
 
 impl Series {
     /// Build from anything convertible to `f64` pairs.
-    pub fn new<X: Into<f64> + Copy, Y: Into<f64> + Copy>(
-        name: &str,
-        points: &[(X, Y)],
-    ) -> Series {
+    pub fn new<X: Into<f64> + Copy, Y: Into<f64> + Copy>(name: &str, points: &[(X, Y)]) -> Series {
         Series {
             name: name.to_string(),
             points: points.iter().map(|&(x, y)| (x.into(), y.into())).collect(),
@@ -95,7 +92,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// experiment output; log-scale the inputs yourself if needed.
 pub fn ascii_plot(series: &[Series], cols: usize, rows: usize) -> String {
     const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
-    let points: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if points.is_empty() || cols < 2 || rows < 2 {
         return String::from("(no data)\n");
     }

@@ -11,6 +11,7 @@
 //! inferred to send the most spoofed traffic.
 
 use crate::cluster::Clustering;
+use crate::config::AnnouncementConfig;
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -63,7 +64,8 @@ pub fn random_schedule_stats(
     for step in 0..k {
         let mut vals: Vec<f64> = trajectories.iter().map(|t| t[step]).collect();
         vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        let pick = |p: f64| vals[((p * (vals.len() - 1) as f64).round() as usize).min(vals.len() - 1)];
+        let pick =
+            |p: f64| vals[((p * (vals.len() - 1) as f64).round() as usize).min(vals.len() - 1)];
         q25.push(pick(0.25));
         median.push(pick(0.5));
         q75.push(pick(0.75));
@@ -114,6 +116,82 @@ pub fn greedy_schedule(
 /// The paper's objective: mean cluster size.
 pub fn mean_size_objective(c: &Clustering) -> f64 {
     c.mean_size()
+}
+
+/// Edit distance between two announcement footprints: the number of
+/// per-link announcement actions that must change to turn `a` into `b` —
+/// links announced/withdrawn, prepends toggled, and per-link poison or
+/// community entries that differ. Empty poison lists and empty community
+/// sets count as absent (they lower to the same injections).
+///
+/// This is the cost model of the warm-start campaign executor: a BGP
+/// epoch transition's churn grows with the number of changed injections,
+/// so deploying configurations in small-edit order (gray-code style)
+/// minimizes total convergence work.
+pub fn footprint_distance(a: &AnnouncementConfig, b: &AnnouncementConfig) -> usize {
+    use std::collections::BTreeSet;
+    let mut d = a.announce.symmetric_difference(&b.announce).count();
+    d += a.prepend.symmetric_difference(&b.prepend).count();
+    let poison_keys: BTreeSet<_> = a.poison.keys().chain(b.poison.keys()).collect();
+    for l in poison_keys {
+        let pa = a
+            .poison
+            .get(l)
+            .map(|v| v.as_slice())
+            .filter(|v| !v.is_empty());
+        let pb = b
+            .poison
+            .get(l)
+            .map(|v| v.as_slice())
+            .filter(|v| !v.is_empty());
+        if pa != pb {
+            d += 1;
+        }
+    }
+    let community_keys: BTreeSet<_> = a.communities.keys().chain(b.communities.keys()).collect();
+    for l in community_keys {
+        let ca = a.communities.get(l).filter(|c| !c.is_empty());
+        let cb = b.communities.get(l).filter(|c| !c.is_empty());
+        if ca != cb {
+            d += 1;
+        }
+    }
+    d
+}
+
+/// Order a schedule for warm-start execution: a greedy nearest-neighbour
+/// chain over [`footprint_distance`], starting at index 0 (the anycast
+/// baseline), ties broken toward the lowest index. Returns a permutation
+/// of `0..configs.len()`.
+///
+/// The executor deploys each configuration as an epoch transition from
+/// its predecessor, so chaining small edits keeps transition churn low;
+/// duplicate footprints (distance 0) become adjacent, where they are
+/// no-op epochs or memo hits.
+pub fn warm_start_order(configs: &[AnnouncementConfig]) -> Vec<usize> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let mut order = Vec::with_capacity(configs.len());
+    let mut remaining: Vec<usize> = (1..configs.len()).collect();
+    let mut current = 0usize;
+    order.push(current);
+    while !remaining.is_empty() {
+        let mut best_pos = 0usize;
+        let mut best_d = usize::MAX;
+        for (pos, &k) in remaining.iter().enumerate() {
+            let d = footprint_distance(&configs[current], &configs[k]);
+            // Strict `<` keeps the lowest index on ties (remaining is in
+            // ascending index order).
+            if d < best_d {
+                best_d = d;
+                best_pos = pos;
+            }
+        }
+        current = remaining.remove(best_pos);
+        order.push(current);
+    }
+    order
 }
 
 /// Future-work extension (i): weight each cluster by the spoofed volume it
@@ -170,8 +248,7 @@ mod tests {
             cat(n, &[0, 0, 0, 0, 1, 1, 1, 1]),
             cat(n, &[0, 0, 1, 1, 0, 0, 1, 1]),
         ];
-        let (order, scores) =
-            greedy_schedule(&cats, &tracked(n), 3, mean_size_objective);
+        let (order, scores) = greedy_schedule(&cats, &tracked(n), 3, mean_size_objective);
         // The useless config must come last.
         assert_eq!(order[2], 0);
         assert_eq!(scores[0], 4.0);
@@ -265,6 +342,80 @@ mod tests {
         let obj = traffic_weighted_objective(&vol);
         assert!(obj(&c_hot) < obj(&c_cold));
         assert_eq!(mean_size_objective(&c_hot), mean_size_objective(&c_cold));
+    }
+
+    #[test]
+    fn footprint_distance_counts_per_link_edits() {
+        use trackdown_bgp::LinkId;
+        use trackdown_topology::Asn;
+        let base = AnnouncementConfig::anycast([LinkId(0), LinkId(1), LinkId(2)]);
+        assert_eq!(footprint_distance(&base, &base), 0);
+        // Withdraw one link: one announce edit.
+        let withdrawn = AnnouncementConfig::anycast([LinkId(0), LinkId(1)]);
+        assert_eq!(footprint_distance(&base, &withdrawn), 1);
+        // Toggle a prepend: one edit.
+        let prepended = base.clone().with_prepend(LinkId(1));
+        assert_eq!(footprint_distance(&base, &prepended), 1);
+        // Add a poison: one edit; change its target list: still one edit.
+        let p1 = base.clone().with_poison(LinkId(2), vec![Asn(9)]);
+        let p2 = base.clone().with_poison(LinkId(2), vec![Asn(10)]);
+        assert_eq!(footprint_distance(&base, &p1), 1);
+        assert_eq!(footprint_distance(&p1, &p2), 1);
+        // An empty poison list is the same footprint as no entry.
+        let p_empty = base.clone().with_poison(LinkId(2), vec![]);
+        assert_eq!(footprint_distance(&base, &p_empty), 0);
+        // Distance is symmetric and additive over independent edits.
+        let both = withdrawn.clone().with_prepend(LinkId(1));
+        assert_eq!(footprint_distance(&base, &both), 2);
+        assert_eq!(
+            footprint_distance(&base, &both),
+            footprint_distance(&both, &base)
+        );
+    }
+
+    #[test]
+    fn footprint_distance_ignores_phase() {
+        use trackdown_bgp::LinkId;
+        let a = AnnouncementConfig::anycast([LinkId(0), LinkId(1)]);
+        let mut b = a.clone();
+        b.phase = crate::config::Phase::Poison;
+        assert_eq!(footprint_distance(&a, &b), 0);
+    }
+
+    #[test]
+    fn warm_start_order_is_a_permutation_starting_at_baseline() {
+        use trackdown_bgp::LinkId;
+        use trackdown_topology::Asn;
+        let base = AnnouncementConfig::anycast([LinkId(0), LinkId(1), LinkId(2)]);
+        let configs = vec![
+            base.clone(),
+            base.clone().with_poison(LinkId(0), vec![Asn(7)]),
+            AnnouncementConfig::anycast([LinkId(0)]),
+            base.clone().with_prepend(LinkId(2)),
+            base.clone(), // duplicate of the baseline
+        ];
+        let order = warm_start_order(&configs);
+        assert_eq!(order[0], 0);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..configs.len()).collect::<Vec<_>>());
+        // The duplicate baseline (distance 0) is deployed immediately
+        // after the baseline itself.
+        assert_eq!(order[1], 4);
+    }
+
+    #[test]
+    fn warm_start_order_chains_small_edits() {
+        use trackdown_bgp::LinkId;
+        // 0: {0,1,2}; 1: far (single link); 2: one edit from 0.
+        let configs = vec![
+            AnnouncementConfig::anycast([LinkId(0), LinkId(1), LinkId(2)]),
+            AnnouncementConfig::anycast([LinkId(3)]),
+            AnnouncementConfig::anycast([LinkId(0), LinkId(1)]),
+        ];
+        let order = warm_start_order(&configs);
+        assert_eq!(order, vec![0, 2, 1]);
+        assert_eq!(warm_start_order(&[]), Vec::<usize>::new());
     }
 
     #[test]

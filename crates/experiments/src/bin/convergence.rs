@@ -39,7 +39,10 @@ fn main() {
     rounds.sort_unstable();
     events.sort_unstable();
     let pct = |v: &[u32], p: f64| v[((v.len() - 1) as f64 * p) as usize];
-    println!("# Convergence depth across {} configurations", schedule.len());
+    println!(
+        "# Convergence depth across {} configurations",
+        schedule.len()
+    );
     println!(
         "rounds: median {}, p90 {}, p99 {}, max {}",
         pct(&rounds, 0.5),
@@ -64,7 +67,10 @@ fn main() {
             pct(&transition_rounds, 0.99),
         );
     }
-    println!("\n# one round ~ one MRAI batch (~30s): p99 of {} rounds stays well", pct(&rounds, 0.99));
+    println!(
+        "\n# one round ~ one MRAI batch (~30s): p99 of {} rounds stays well",
+        pct(&rounds, 0.99)
+    );
     println!("# inside the paper's 2.5-minute p99 convergence citation, supporting");
     println!("# its 70-minute per-configuration dwell time as very conservative.");
     println!("# the transition churn total is the \"thousands of route changes\"");

@@ -11,5 +11,8 @@ fn main() {
         Scale::Medium => (200, 30),
         Scale::Full => (300, 40),
     };
-    print!("{}", figures::fig8(&campaign, samples, steps, opts.seed ^ 0xF18));
+    print!(
+        "{}",
+        figures::fig8(&campaign, samples, steps, opts.seed ^ 0xF18)
+    );
 }

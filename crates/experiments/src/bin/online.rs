@@ -24,7 +24,10 @@ fn main() {
     let trials = 40usize;
     println!("# Online localization: configurations needed to reach the attacker's");
     println!("# minimal suspect set (its cluster under the full schedule, +1 slack)");
-    println!("# ({} single-source trials, budget 40 configurations)\n", trials);
+    println!(
+        "# ({} single-source trials, budget 40 configurations)\n",
+        trials
+    );
     for greedy in [true, false] {
         let mut used = Vec::new();
         let mut localized = 0usize;
@@ -32,10 +35,7 @@ fn main() {
             let attacker = campaign.tracked[(t * 41 + 7) % campaign.tracked.len()];
             // Best achievable: the attacker's cluster size after every
             // configuration — the online loop cannot do better.
-            let optimal = campaign
-                .clustering
-                .cluster_size_of(attacker)
-                .unwrap_or(1);
+            let optimal = campaign.clustering.cluster_size_of(attacker).unwrap_or(1);
             let mut vol = vec![0u64; scenario.gen.topology.num_ases()];
             vol[attacker.us()] = 1_000_000;
             let result = simulate_online_attack(

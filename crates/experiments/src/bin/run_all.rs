@@ -35,9 +35,15 @@ fn main() {
         ("fig5.txt", figures::fig5(&scenario, &campaign)),
         ("fig6.txt", figures::fig6(&scenario, &campaign)),
         ("fig7.txt", figures::fig7(&scenario, &campaign)),
-        ("fig8.txt", figures::fig8(&campaign, samples, steps, opts.seed ^ 0xF18)),
+        (
+            "fig8.txt",
+            figures::fig8(&campaign, samples, steps, opts.seed ^ 0xF18),
+        ),
         ("fig9.txt", figures::fig9(&scenario)),
-        ("fig10.txt", figures::fig10(&scenario, &campaign, placements)),
+        (
+            "fig10.txt",
+            figures::fig10(&scenario, &campaign, placements),
+        ),
         ("table2.txt", figures::table2()),
     ];
     for (file, content) in jobs {

@@ -6,7 +6,9 @@
 //! churn-robust match-fraction scorer.
 
 use trackdown_bgp::{BgpEngine, Catchments, EngineConfig, PolicyConfig};
-use trackdown_core::localize::{match_fraction_scores, rank_suspects, run_campaign, CatchmentSource};
+use trackdown_core::localize::{
+    match_fraction_scores, rank_suspects, run_campaign, CatchmentSource,
+};
 use trackdown_experiments::{Options, Scenario};
 
 fn main() {
@@ -70,11 +72,7 @@ fn main() {
             let vols: Vec<Vec<u64>> = actual
                 .iter()
                 .map(|c| {
-                    trackdown_traffic::volume_per_link(
-                        c,
-                        &volume,
-                        scenario.origin.num_links(),
-                    )
+                    trackdown_traffic::volume_per_link(c, &volume, scenario.origin.num_links())
                 })
                 .collect();
             let suspects = rank_suspects(&campaign, &vols);

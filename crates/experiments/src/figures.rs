@@ -28,7 +28,11 @@ pub fn table1(scenario: &Scenario) -> String {
             let i = topo.index_of(l.provider).expect("provider in topology");
             vec![
                 l.pop.clone(),
-                format!("{} ({})", l.provider, format!("{:?}", cones.tier(i)).to_lowercase()),
+                format!(
+                    "{} ({})",
+                    l.provider,
+                    format!("{:?}", cones.tier(i)).to_lowercase()
+                ),
                 topo.customers(i).count().to_string(),
                 cones.cone_size(i).to_string(),
                 scenario.gen.region(i).to_string(),
@@ -86,7 +90,13 @@ pub fn fig3(scenario: &Scenario, campaign: &Campaign) -> String {
     }
     let mut out = String::from("# Figure 3: CCDF of cluster sizes after each phase\n\n");
     out.push_str(&render_table(
-        &["phase", "configs", "mean size", "singleton clusters", "clusters >5 ASes"],
+        &[
+            "phase",
+            "configs",
+            "mean size",
+            "singleton clusters",
+            "clusters >5 ASes",
+        ],
         &summary_rows,
     ));
     // Sensitivity: single-homed stubs under one provider are provably
@@ -100,8 +110,7 @@ pub fn fig3(scenario: &Scenario, campaign: &Campaign) -> String {
         .iter()
         .map(|&s| topo.degree(s) >= 2)
         .collect();
-    let mut diverse_sizes: std::collections::HashMap<u32, usize> =
-        std::collections::HashMap::new();
+    let mut diverse_sizes: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
     for (k, &s) in campaign.tracked.iter().enumerate() {
         if diverse[k] {
             if let Some(id) = clustering.cluster_of(s) {
@@ -121,7 +130,10 @@ pub fn fig3(scenario: &Scenario, campaign: &Campaign) -> String {
         ));
     }
     out.push('\n');
-    out.push_str(&print_series("CCDF (x=cluster size, y=frac clusters >= x)", &series));
+    out.push_str(&print_series(
+        "CCDF (x=cluster size, y=frac clusters >= x)",
+        &series,
+    ));
     out
 }
 
@@ -146,8 +158,14 @@ pub fn fig4(campaign: &Campaign) -> String {
     out.push_str(&print_series(
         "cluster size vs configs (x=configs deployed)",
         &[
-            Series { name: "mean".into(), points: mean },
-            Series { name: "p90".into(), points: p90 },
+            Series {
+                name: "mean".into(),
+                points: mean,
+            },
+            Series {
+                name: "p90".into(),
+                points: p90,
+            },
         ],
     ));
     out
@@ -190,7 +208,10 @@ pub fn fig5(scenario: &Scenario, campaign: &Campaign) -> String {
         }
         let (mean, lo, hi) = band(&trajs);
         let to_pts = |v: &[f64]| -> Vec<(f64, f64)> {
-            v.iter().enumerate().map(|(k, &y)| ((k + 1) as f64, y)).collect()
+            v.iter()
+                .enumerate()
+                .map(|(k, &y)| ((k + 1) as f64, y))
+                .collect()
         };
         rows.push(vec![
             label.clone(),
@@ -199,10 +220,19 @@ pub fn fig5(scenario: &Scenario, campaign: &Campaign) -> String {
             format!("{:.3}", lo.last().copied().unwrap_or(0.0)),
             format!("{:.3}", hi.last().copied().unwrap_or(0.0)),
         ]);
-        series.push(Series { name: format!("{label} (mean)"), points: to_pts(&mean) });
+        series.push(Series {
+            name: format!("{label} (mean)"),
+            points: to_pts(&mean),
+        });
         if removed > 0 {
-            series.push(Series { name: format!("{label} (min)"), points: to_pts(&lo) });
-            series.push(Series { name: format!("{label} (max)"), points: to_pts(&hi) });
+            series.push(Series {
+                name: format!("{label} (min)"),
+                points: to_pts(&lo),
+            });
+            series.push(Series {
+                name: format!("{label} (max)"),
+                points: to_pts(&hi),
+            });
         }
     }
     let mut out = String::from("# Figure 5: mean cluster size when removing peering locations\n\n");
@@ -246,10 +276,7 @@ pub fn fig6(scenario: &Scenario, campaign: &Campaign) -> String {
             per_subset.push(ccdf);
         }
         // Evaluate each subset's step CCDF on the union grid and average.
-        let mut grid: Vec<usize> = per_subset
-            .iter()
-            .flat_map(|m| m.keys().copied())
-            .collect();
+        let mut grid: Vec<usize> = per_subset.iter().flat_map(|m| m.keys().copied()).collect();
         grid.sort_unstable();
         grid.dedup();
         let eval = |m: &BTreeMap<usize, f64>, x: usize| -> f64 {
@@ -260,8 +287,8 @@ pub fn fig6(scenario: &Scenario, campaign: &Campaign) -> String {
         let pts: Vec<(f64, f64)> = grid
             .iter()
             .map(|&x| {
-                let avg: f64 = per_subset.iter().map(|m| eval(m, x)).sum::<f64>()
-                    / per_subset.len() as f64;
+                let avg: f64 =
+                    per_subset.iter().map(|m| eval(m, x)).sum::<f64>() / per_subset.len() as f64;
                 (x as f64, avg)
             })
             .collect();
@@ -271,7 +298,10 @@ pub fn fig6(scenario: &Scenario, campaign: &Campaign) -> String {
             per_subset.len().to_string(),
             format!("{:.3}%", tail_avg * 100.0),
         ]);
-        series.push(Series { name: label, points: pts });
+        series.push(Series {
+            name: label,
+            points: pts,
+        });
     }
     let mut out =
         String::from("# Figure 6: distribution of cluster sizes after removing locations\n\n");
@@ -299,7 +329,11 @@ pub fn fig7(scenario: &Scenario, campaign: &Campaign) -> String {
         .iter()
         .map(|g| {
             vec![
-                if g.open_ended { format!("{}+", g.hops) } else { g.hops.to_string() },
+                if g.open_ended {
+                    format!("{}+", g.hops)
+                } else {
+                    g.hops.to_string()
+                },
                 g.ases.to_string(),
                 format!("{:.3}", g.mean_cluster_size),
             ]
@@ -310,8 +344,16 @@ pub fn fig7(scenario: &Scenario, campaign: &Campaign) -> String {
         .map(|g| Series {
             name: format!(
                 "ASes {} hop{} from origin",
-                if g.open_ended { format!("{}+", g.hops) } else { g.hops.to_string() },
-                if g.hops == 1 && !g.open_ended { "" } else { "s" },
+                if g.open_ended {
+                    format!("{}+", g.hops)
+                } else {
+                    g.hops.to_string()
+                },
+                if g.hops == 1 && !g.open_ended {
+                    ""
+                } else {
+                    "s"
+                },
             ),
             points: g.cdf.iter().map(|&(s, f)| (s as f64, f)).collect(),
         })
@@ -343,7 +385,10 @@ pub fn fig8(campaign: &Campaign, random_samples: usize, greedy_steps: usize, see
         mean_size_objective,
     );
     let to_pts = |v: &[f64]| -> Vec<(f64, f64)> {
-        v.iter().enumerate().map(|(k, &y)| ((k + 1) as f64, y)).collect()
+        v.iter()
+            .enumerate()
+            .map(|(k, &y)| ((k + 1) as f64, y))
+            .collect()
     };
     let at10 = 9.min(greedy.len().saturating_sub(1));
     let mut out = String::from("# Figure 8: mean cluster size vs announcement schedule\n\n");
@@ -358,10 +403,22 @@ pub fn fig8(campaign: &Campaign, random_samples: usize, greedy_steps: usize, see
     out.push_str(&print_series(
         "mean cluster size vs configs deployed",
         &[
-            Series { name: "random q25".into(), points: to_pts(&rnd.q25) },
-            Series { name: "random median".into(), points: to_pts(&rnd.median) },
-            Series { name: "random q75".into(), points: to_pts(&rnd.q75) },
-            Series { name: "greedy".into(), points: to_pts(&greedy) },
+            Series {
+                name: "random q25".into(),
+                points: to_pts(&rnd.q25),
+            },
+            Series {
+                name: "random median".into(),
+                points: to_pts(&rnd.median),
+            },
+            Series {
+                name: "random q75".into(),
+                points: to_pts(&rnd.q75),
+            },
+            Series {
+                name: "greedy".into(),
+                points: to_pts(&greedy),
+            },
         ],
     ));
     out
@@ -396,8 +453,14 @@ pub fn fig9(scenario: &Scenario) -> String {
     out.push_str(&print_series(
         "CDF over configurations (x=fraction of ASes, y=cum frac of configs)",
         &[
-            Series { name: "best relationship".into(), points: fraction_cdf(best_rel) },
-            Series { name: "best relationship & shortest".into(), points: fraction_cdf(both) },
+            Series {
+                name: "best relationship".into(),
+                points: fraction_cdf(best_rel),
+            },
+            Series {
+                name: "best relationship & shortest".into(),
+                points: fraction_cdf(both),
+            },
         ],
     ));
     out
@@ -411,7 +474,10 @@ pub fn fig10(scenario: &Scenario, campaign: &Campaign, placements: usize) -> Str
         ("uniform", SourcePlacement::Uniform { total: 100 }),
         (
             "pareto",
-            SourcePlacement::Pareto { total: 100, alpha: pareto_shape_80_20() },
+            SourcePlacement::Pareto {
+                total: 100,
+                alpha: pareto_shape_80_20(),
+            },
         ),
         ("single source", SourcePlacement::Single),
     ];
@@ -424,12 +490,7 @@ pub fn fig10(scenario: &Scenario, campaign: &Campaign, placements: usize) -> Str
         grid.dedup();
         let mut acc: Vec<f64> = vec![0.0; grid.len()];
         for p in 0..placements {
-            let placed = place_sources(
-                n,
-                &campaign.tracked,
-                placement,
-                0xF16_0000 + p as u64,
-            );
+            let placed = place_sources(n, &campaign.tracked, placement, 0xF16_0000 + p as u64);
             let vols = placed.volume_per_as(1_000);
             let curve = cumulative_volume_by_cluster_size(&clusters, &vols);
             let step = |x: usize| -> f64 {
@@ -463,13 +524,20 @@ pub fn fig10(scenario: &Scenario, campaign: &Campaign, placements: usize) -> Str
             placements.to_string(),
             format!("{:.3}", at5),
         ]);
-        series.push(Series { name: name.to_string(), points: pts });
+        series.push(Series {
+            name: name.to_string(),
+            points: pts,
+        });
     }
     let mut out = String::from(
         "# Figure 10: cluster size as function of traffic volume per source distribution\n\n",
     );
     out.push_str(&render_table(
-        &["distribution", "placements", "volume frac in clusters <=5 ASes"],
+        &[
+            "distribution",
+            "placements",
+            "volume frac in clusters <=5 ASes",
+        ],
         &rows,
     ));
     out.push('\n');
@@ -484,12 +552,60 @@ pub fn fig10(scenario: &Scenario, campaign: &Campaign, placements: usize) -> Str
 /// content from the paper, §VII).
 pub fn table2() -> String {
     let rows: Vec<Vec<String>> = [
-        ["Manual", "Logs/monitoring", "Required", "No", "No", "Path prefix", "Long"],
-        ["Flooding", "Packet loss", "Required", "No", "High", "Path prefix", "Moderate"],
-        ["Marking", "IP ID field", "Deployment", "Yes", "Low", "Closest router", "~sampling"],
-        ["Out-of-band", "-", "Deployment", "Yes", "High", "Closest router", "~sampling"],
-        ["Digest-based", "Router state", "Deployment", "Yes", "High", "Closest router", "Low"],
-        ["Routing (this work)", "Routes", "No", "No", "No", "AS", "Long"],
+        [
+            "Manual",
+            "Logs/monitoring",
+            "Required",
+            "No",
+            "No",
+            "Path prefix",
+            "Long",
+        ],
+        [
+            "Flooding",
+            "Packet loss",
+            "Required",
+            "No",
+            "High",
+            "Path prefix",
+            "Moderate",
+        ],
+        [
+            "Marking",
+            "IP ID field",
+            "Deployment",
+            "Yes",
+            "Low",
+            "Closest router",
+            "~sampling",
+        ],
+        [
+            "Out-of-band",
+            "-",
+            "Deployment",
+            "Yes",
+            "High",
+            "Closest router",
+            "~sampling",
+        ],
+        [
+            "Digest-based",
+            "Router state",
+            "Deployment",
+            "Yes",
+            "High",
+            "Closest router",
+            "Low",
+        ],
+        [
+            "Routing (this work)",
+            "Routes",
+            "No",
+            "No",
+            "No",
+            "AS",
+            "Long",
+        ],
     ]
     .iter()
     .map(|r| r.iter().map(|s| s.to_string()).collect())
@@ -520,6 +636,7 @@ mod tests {
             scale: Scale::Small,
             seed: 5,
             measured: false,
+            cold: false,
         });
         let campaign = scenario.run();
         let t1 = super::table1(&scenario);

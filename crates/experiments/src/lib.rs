@@ -25,7 +25,7 @@
 use std::collections::BTreeSet;
 use trackdown_bgp::{BgpEngine, EngineConfig, LinkId, OriginAs, PolicyConfig};
 use trackdown_core::generator::{full_schedule, phase_boundaries, GeneratorParams};
-use trackdown_core::localize::{run_campaign, Campaign, CatchmentSource};
+use trackdown_core::localize::{run_campaign_mode, Campaign, CampaignMode, CatchmentSource};
 use trackdown_core::report::{downsample, render_table, Series};
 use trackdown_core::{AnnouncementConfig, Phase};
 use trackdown_measure::{MeasurementConfig, MeasurementPlane};
@@ -69,6 +69,9 @@ pub struct Options {
     /// control-plane oracle — closest to the paper's §IV pipeline, where
     /// only feed/probe-visible sources enter the analysis.
     pub measured: bool,
+    /// Cold-start every configuration from scratch instead of the default
+    /// warm-start epoch reuse. Slower; kept as the reference oracle.
+    pub cold: bool,
 }
 
 impl Default for Options {
@@ -77,6 +80,7 @@ impl Default for Options {
             scale: Scale::Full,
             seed: 0x5eed_0001,
             measured: false,
+            cold: false,
         }
     }
 }
@@ -105,6 +109,7 @@ impl Options {
                         .unwrap_or_else(|| usage());
                 }
                 "--measured" => opts.measured = true,
+                "--cold" => opts.cold = true,
                 "--help" | "-h" => usage(),
                 other => {
                     eprintln!("unknown argument: {other}");
@@ -119,7 +124,7 @@ impl Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: <experiment> [--scale small|medium|full] [--seed <u64>] [--measured]"
+        "usage: <experiment> [--scale small|medium|full] [--seed <u64>] [--measured] [--cold]"
     );
     std::process::exit(2)
 }
@@ -139,6 +144,8 @@ pub struct Scenario {
     pub scale: Scale,
     /// Whether campaigns run through the measurement plane.
     pub measured: bool,
+    /// Whether campaigns cold-start every configuration (reference oracle).
+    pub cold: bool,
 }
 
 impl Scenario {
@@ -189,6 +196,7 @@ impl Scenario {
             params,
             scale: opts.scale,
             measured: opts.measured,
+            cold: opts.cold,
         }
     }
 
@@ -206,24 +214,29 @@ impl Scenario {
     /// control plane; with `--measured` they pass through the simulated
     /// observation plane (the paper's §IV pipeline), which restricts the
     /// tracked set to feed/probe-visible sources and adds measurement
-    /// noise.
+    /// noise. Campaigns warm-start each configuration from the previous
+    /// converged routing state unless `--cold` forces per-configuration
+    /// cold starts (the slower reference oracle).
     pub fn run(&self) -> Campaign {
         let engine = self.engine();
         let schedule = self.schedule();
+        let mode = if self.cold {
+            CampaignMode::Cold
+        } else {
+            CampaignMode::Warm
+        };
         if self.measured {
             let cones = ConeInfo::compute(&self.gen.topology);
-            let plane = MeasurementPlane::new(
-                &self.gen.topology,
-                &cones,
-                &MeasurementConfig::default(),
-            );
-            run_campaign(
+            let plane =
+                MeasurementPlane::new(&self.gen.topology, &cones, &MeasurementConfig::default());
+            run_campaign_mode(
                 &engine,
                 &self.origin,
                 &schedule,
                 CatchmentSource::Measured,
                 Some(&plane),
                 self.engine_cfg.max_events_factor,
+                mode,
             )
         } else {
             // Independent configurations propagate in parallel — the
@@ -232,13 +245,14 @@ impl Scenario {
             let threads = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1);
-            trackdown_core::localize::run_campaign_parallel(
+            trackdown_core::localize::run_campaign_parallel_mode(
                 &engine,
                 &self.origin,
                 &schedule,
                 CatchmentSource::ControlPlane,
                 self.engine_cfg.max_events_factor,
                 threads,
+                mode,
             )
         }
     }
@@ -277,10 +291,7 @@ pub fn phase_summary(campaign: &Campaign) -> String {
             ]
         })
         .collect();
-    render_table(
-        &["phase", "configs", "mean size", "p90", "clusters"],
-        &rows,
-    )
+    render_table(&["phase", "configs", "mean size", "p90", "clusters"], &rows)
 }
 
 /// Format `(x, y)` series for terminal output: an ASCII sketch of the
@@ -316,6 +327,7 @@ mod tests {
             scale: Scale::Small,
             seed: 3,
             measured: false,
+            cold: false,
         };
         let s = Scenario::build(opts);
         assert_eq!(s.origin.num_links(), 4);

@@ -36,7 +36,9 @@ pub use mapping::{HopResolution, IpToAs, IpToAsConfig};
 pub use observe::{collect_bgp_feeds, combine_observations, BgpObservation, MeasuredCatchments};
 pub use plane::{MeasurementConfig, MeasurementPlane};
 pub use repair::{repair_campaign, InteriorIndex, RepairedPath};
-pub use traceroute::{run_campaign, run_traceroute, sample_probes, Hop, Traceroute, TracerouteConfig};
+pub use traceroute::{
+    run_campaign, run_traceroute, sample_probes, Hop, Traceroute, TracerouteConfig,
+};
 pub use vantage::{VantageConfig, VantagePoints};
 pub use visibility::{analysis_set, impute_visibility, ImputationStats};
 

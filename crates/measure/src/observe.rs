@@ -154,7 +154,11 @@ pub fn combine_observations(
     for i in 0..n {
         let b = &bgp_votes[i];
         let t = &tr_votes[i];
-        let assignment = if !b.is_empty() { majority(b) } else { majority(t) };
+        let assignment = if !b.is_empty() {
+            majority(b)
+        } else {
+            majority(t)
+        };
         observed[i] = !b.is_empty() || !t.is_empty();
         let mut distinct: Vec<LinkId> = b.iter().chain(t.iter()).copied().collect();
         distinct.sort_unstable();

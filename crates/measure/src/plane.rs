@@ -109,7 +109,9 @@ impl MeasurementPlane {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trackdown_bgp::{BgpEngine, Catchments, EngineConfig, LinkAnnouncement, OriginAs, PolicyConfig};
+    use trackdown_bgp::{
+        BgpEngine, Catchments, EngineConfig, LinkAnnouncement, OriginAs, PolicyConfig,
+    };
     use trackdown_topology::gen::{generate, TopologyConfig};
 
     fn clean_engine_cfg() -> EngineConfig {

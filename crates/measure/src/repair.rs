@@ -117,7 +117,6 @@ impl InteriorIndex {
             _ => None,
         }
     }
-
 }
 
 /// Repair one observed sequence against prebuilt traceroute and BGP
@@ -352,9 +351,18 @@ mod tests {
             round: 0,
             reached: Some(LinkId(0)),
             hops: vec![
-                Hop { true_as: AsIndex(0), observed: s(1) },
-                Hop { true_as: AsIndex(1), observed: Some(ixp) },
-                Hop { true_as: AsIndex(1), observed: s(2) },
+                Hop {
+                    true_as: AsIndex(0),
+                    observed: s(1),
+                },
+                Hop {
+                    true_as: AsIndex(1),
+                    observed: Some(ixp),
+                },
+                Hop {
+                    true_as: AsIndex(1),
+                    observed: s(2),
+                },
             ],
         };
         let repaired = repair_campaign(&[t], &[]);
@@ -365,16 +373,25 @@ mod tests {
 
     #[test]
     fn campaign_repair_uses_other_traceroutes() {
-        use trackdown_topology::AsIndex;
         use crate::traceroute::Hop;
+        use trackdown_topology::AsIndex;
         let t1 = Traceroute {
             probe: AsIndex(0),
             round: 0,
             reached: Some(LinkId(0)),
             hops: vec![
-                Hop { true_as: AsIndex(0), observed: s(1) },
-                Hop { true_as: AsIndex(1), observed: None },
-                Hop { true_as: AsIndex(2), observed: s(3) },
+                Hop {
+                    true_as: AsIndex(0),
+                    observed: s(1),
+                },
+                Hop {
+                    true_as: AsIndex(1),
+                    observed: None,
+                },
+                Hop {
+                    true_as: AsIndex(2),
+                    observed: s(3),
+                },
             ],
         };
         let t2 = Traceroute {
@@ -382,9 +399,18 @@ mod tests {
             round: 0,
             reached: Some(LinkId(0)),
             hops: vec![
-                Hop { true_as: AsIndex(0), observed: s(1) },
-                Hop { true_as: AsIndex(1), observed: s(2) },
-                Hop { true_as: AsIndex(2), observed: s(3) },
+                Hop {
+                    true_as: AsIndex(0),
+                    observed: s(1),
+                },
+                Hop {
+                    true_as: AsIndex(1),
+                    observed: s(2),
+                },
+                Hop {
+                    true_as: AsIndex(2),
+                    observed: s(3),
+                },
             ],
         };
         let repaired = repair_campaign(&[t1, t2], &[]);

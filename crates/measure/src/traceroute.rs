@@ -92,8 +92,7 @@ impl Traceroute {
         if self.hops.is_empty() {
             return 0.0;
         }
-        self.hops.iter().filter(|h| h.observed.is_some()).count() as f64
-            / self.hops.len() as f64
+        self.hops.iter().filter(|h| h.observed.is_some()).count() as f64 / self.hops.len() as f64
     }
 }
 
@@ -165,7 +164,15 @@ pub fn run_campaign(
     let mut out = Vec::with_capacity(probes.len() * cfg.rounds);
     for &p in probes {
         for round in 0..cfg.rounds {
-            out.push(run_traceroute(topo, db, outcome, p, round, cfg, config_salt));
+            out.push(run_traceroute(
+                topo,
+                db,
+                outcome,
+                p,
+                round,
+                cfg,
+                config_salt,
+            ));
         }
     }
     out
@@ -325,11 +332,26 @@ mod tests {
             round: 0,
             reached: None,
             hops: vec![
-                Hop { true_as: AsIndex(0), observed: Some(Asn(1)) },
-                Hop { true_as: AsIndex(0), observed: Some(Asn(1)) },
-                Hop { true_as: AsIndex(1), observed: None },
-                Hop { true_as: AsIndex(2), observed: None },
-                Hop { true_as: AsIndex(3), observed: Some(Asn(4)) },
+                Hop {
+                    true_as: AsIndex(0),
+                    observed: Some(Asn(1)),
+                },
+                Hop {
+                    true_as: AsIndex(0),
+                    observed: Some(Asn(1)),
+                },
+                Hop {
+                    true_as: AsIndex(1),
+                    observed: None,
+                },
+                Hop {
+                    true_as: AsIndex(2),
+                    observed: None,
+                },
+                Hop {
+                    true_as: AsIndex(3),
+                    observed: Some(Asn(4)),
+                },
             ],
         };
         assert_eq!(
@@ -353,7 +375,9 @@ mod tests {
         let mut peer_crossings = 0usize;
         for p in g.topology.indices() {
             let tr = run_traceroute(&g.topology, &db, &out, p, 0, &cfg, 0);
-            let Some(walk) = out.forwarding_walk(p) else { continue };
+            let Some(walk) = out.forwarding_walk(p) else {
+                continue;
+            };
             for (pos, h) in tr.hops.iter().enumerate() {
                 let crossed_peer = pos > 0
                     && g.topology.relationship(walk.hops[pos - 1], walk.hops[pos])
@@ -369,7 +393,10 @@ mod tests {
                 }
             }
         }
-        assert!(ixp_seen > 0, "no peering crossings exercised ({peer_crossings})");
+        assert!(
+            ixp_seen > 0,
+            "no peering crossings exercised ({peer_crossings})"
+        );
     }
 
     #[test]

@@ -46,7 +46,9 @@ fn find_smax(measured: &[MeasuredCatchments], s: AsIndex) -> Option<AsIndex> {
         if !m.observed[s.us()] {
             continue;
         }
-        let Some(link) = m.catchments.get(s) else { continue };
+        let Some(link) = m.catchments.get(s) else {
+            continue;
+        };
         for t in m.catchments.members(link) {
             if t != s {
                 *counts.entry(t).or_insert(0) += 1;
@@ -136,10 +138,7 @@ mod tests {
     fn imputation_fills_holes_from_smax() {
         // Config 0 (baseline): 0 and 1 together on link 0.
         // Config 1: source 0 missing; source 1 observed on link 1.
-        let mut ms = vec![
-            mc(2, &[(0, 0), (1, 0)]),
-            mc(2, &[(1, 1)]),
-        ];
+        let mut ms = vec![mc(2, &[(0, 0), (1, 0)]), mc(2, &[(1, 1)])];
         let stats = impute_visibility(&mut ms, 0);
         assert_eq!(stats.analysis_sources, 2);
         assert_eq!(stats.imputed_assignments, 1);

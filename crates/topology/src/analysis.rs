@@ -43,11 +43,7 @@ pub fn is_connected(topo: &Topology) -> bool {
 
 /// Histogram of AS degrees: `result[d]` = number of ASes with degree `d`.
 pub fn degree_histogram(topo: &Topology) -> Vec<usize> {
-    let max_deg = topo
-        .indices()
-        .map(|i| topo.degree(i))
-        .max()
-        .unwrap_or(0);
+    let max_deg = topo.indices().map(|i| topo.degree(i)).max().unwrap_or(0);
     let mut hist = vec![0usize; max_deg + 1];
     for i in topo.indices() {
         hist[topo.degree(i)] += 1;
@@ -149,10 +145,7 @@ mod tests {
             (Asn(3), Asn(4), LinkKind::ProviderCustomer),
         ])
         .unwrap();
-        let seeds = [
-            t.index_of(Asn(1)).unwrap(),
-            t.index_of(Asn(4)).unwrap(),
-        ];
+        let seeds = [t.index_of(Asn(1)).unwrap(), t.index_of(Asn(4)).unwrap()];
         let d = multi_source_distances(&t, &seeds);
         assert_eq!(d[t.index_of(Asn(2)).unwrap().us()], 1);
         assert_eq!(d[t.index_of(Asn(3)).unwrap().us()], 1);

@@ -13,9 +13,9 @@
 //! Everything is deterministic given a [`TopologyConfig`] (including its
 //! seed): the same config always yields the identical topology.
 
-use crate::{Asn, AsIndex, Topology, TopologyBuilder};
-use rand::{Rng, RngExt};
+use crate::{AsIndex, Asn, Topology, TopologyBuilder};
 use rand::SeedableRng;
+use rand::{Rng, RngExt};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -179,7 +179,12 @@ fn pick_providers<R: Rng>(
         let candidates: Vec<Asn> = pool
             .iter()
             .filter(|(a, r)| {
-                !chosen.contains(a) && if cross { *r != my_region } else { *r == my_region }
+                !chosen.contains(a)
+                    && if cross {
+                        *r != my_region
+                    } else {
+                        *r == my_region
+                    }
             })
             .map(|(a, _)| *a)
             .collect();
@@ -260,11 +265,8 @@ pub fn generate(config: &TopologyConfig) -> GeneratedTopology {
         builder.add_as(a).expect("fresh ASN");
         let region = rng.random_range(0..config.num_regions) as u8;
         regions.push(region);
-        let nprov = sample_multihoming(
-            &mut rng,
-            config.large_transit_multihoming,
-            config.num_tier1,
-        );
+        let nprov =
+            sample_multihoming(&mut rng, config.large_transit_multihoming, config.num_tier1);
         let provs = pick_providers(
             &mut rng,
             &tier1_pool,
@@ -464,10 +466,7 @@ mod tests {
         for i in t.indices() {
             let asn = t.asn_of(i);
             if !g.tier1s.contains(&asn) {
-                assert!(
-                    t.providers(i).next().is_some(),
-                    "{asn} has no provider"
-                );
+                assert!(t.providers(i).next().is_some(), "{asn} has no provider");
             }
         }
     }

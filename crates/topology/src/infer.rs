@@ -65,7 +65,11 @@ pub fn infer_relationships(paths: &[Vec<Asn>], params: &InferenceParams) -> Vec<
     let cleaned: Vec<Vec<Asn>> = paths.iter().map(|p| collapse(p)).collect();
     for p in &cleaned {
         for w in p.windows(2) {
-            let key = if w[0] <= w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+            let key = if w[0] <= w[1] {
+                (w[0], w[1])
+            } else {
+                (w[1], w[0])
+            };
             if seen_edges.insert(key, ()).is_none() {
                 *degree.entry(w[0]).or_insert(0) += 1;
                 *degree.entry(w[1]).or_insert(0) += 1;
@@ -173,12 +177,7 @@ mod tests {
     fn infers_simple_hierarchy() {
         // Star: AS1 is the high-degree core; stubs 2, 3, 4 below it.
         // Paths go stub -> core -> stub (valley-free through the provider).
-        let corpus = paths(&[
-            &[2, 1, 3],
-            &[3, 1, 4],
-            &[4, 1, 2],
-            &[2, 1, 4],
-        ]);
+        let corpus = paths(&[&[2, 1, 3], &[3, 1, 4], &[4, 1, 2], &[2, 1, 4]]);
         let inferred = infer_relationships(&corpus, &InferenceParams::default());
         assert_eq!(inferred.len(), 3);
         for l in &inferred {
@@ -234,9 +233,24 @@ mod tests {
         ])
         .unwrap();
         let inferred = vec![
-            InferredLink { a: Asn(1), b: Asn(2), kind: LinkKind::ProviderCustomer, votes: 3 },
-            InferredLink { a: Asn(3), b: Asn(1), kind: LinkKind::ProviderCustomer, votes: 2 }, // inverted
-            InferredLink { a: Asn(1), b: Asn(9), kind: LinkKind::PeerPeer, votes: 1 }, // unknown AS
+            InferredLink {
+                a: Asn(1),
+                b: Asn(2),
+                kind: LinkKind::ProviderCustomer,
+                votes: 3,
+            },
+            InferredLink {
+                a: Asn(3),
+                b: Asn(1),
+                kind: LinkKind::ProviderCustomer,
+                votes: 2,
+            }, // inverted
+            InferredLink {
+                a: Asn(1),
+                b: Asn(9),
+                kind: LinkKind::PeerPeer,
+                votes: 1,
+            }, // unknown AS
         ];
         let (evaluated, correct) = score_inference(&topo, &inferred);
         assert_eq!(evaluated, 2);

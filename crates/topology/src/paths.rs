@@ -207,7 +207,9 @@ mod tests {
 
     #[test]
     fn prepend_semantics() {
-        let path = AsPath::from_origin(Asn(1)).prepended_by(Asn(2)).prepended_by(Asn(3));
+        let path = AsPath::from_origin(Asn(1))
+            .prepended_by(Asn(2))
+            .prepended_by(Asn(3));
         assert_eq!(path.as_slice(), &[Asn(3), Asn(2), Asn(1)]);
         let traffic_eng = path.prepended_by_times(Asn(4), 4);
         assert_eq!(traffic_eng.len(), 7);
@@ -234,10 +236,7 @@ mod tests {
     fn poison_sandwich_roundtrip() {
         let o = Asn(47065);
         let path = AsPath::poisoned_origin(o, &[Asn(10), Asn(20)]);
-        assert_eq!(
-            path.as_slice(),
-            &[o, Asn(10), o, Asn(20), o],
-        );
+        assert_eq!(path.as_slice(), &[o, Asn(10), o, Asn(20), o],);
         assert_eq!(path.origin(), Some(o));
         assert_eq!(path.poisons_of(o), vec![Asn(10), Asn(20)]);
         assert!(path.has_nonadjacent_repeat());

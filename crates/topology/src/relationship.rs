@@ -172,9 +172,7 @@ mod tests {
 
     #[test]
     fn preference_ordering() {
-        assert!(
-            NeighborKind::Customer.preference_rank() > NeighborKind::Peer.preference_rank()
-        );
+        assert!(NeighborKind::Customer.preference_rank() > NeighborKind::Peer.preference_rank());
         assert!(NeighborKind::Peer.preference_rank() > NeighborKind::Provider.preference_rank());
     }
 

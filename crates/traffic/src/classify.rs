@@ -186,12 +186,7 @@ mod tests {
     fn unreachable_sources_never_arrive() {
         let truth = catchments(3, |_| None);
         let cls = SpoofClassifier::new(truth.clone());
-        let flows = legitimate_flows(
-            &[AsIndex(0)],
-            Prefix::new([184, 164, 224, 0], 24),
-            1,
-            64,
-        );
+        let flows = legitimate_flows(&[AsIndex(0)], Prefix::new([184, 164, 224, 0], 24), 1, 64);
         let r = cls.evaluate(&truth, &flows);
         assert_eq!(r, ClassifierReport::default());
         // Degenerate report has well-defined scores.

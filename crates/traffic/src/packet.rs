@@ -315,7 +315,7 @@ mod tests {
     fn rejects_non_udp() {
         let mut wire = sample().encode().to_vec();
         wire[9] = 6; // TCP
-        // Fix up checksum so we reach the protocol check.
+                     // Fix up checksum so we reach the protocol check.
         wire[10] = 0;
         wire[11] = 0;
         let csum = internet_checksum(&wire[..20]);

@@ -212,10 +212,25 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = place_sources(20, &candidates(20), SourcePlacement::Uniform { total: 50 }, 1);
-        let b = place_sources(20, &candidates(20), SourcePlacement::Uniform { total: 50 }, 1);
+        let a = place_sources(
+            20,
+            &candidates(20),
+            SourcePlacement::Uniform { total: 50 },
+            1,
+        );
+        let b = place_sources(
+            20,
+            &candidates(20),
+            SourcePlacement::Uniform { total: 50 },
+            1,
+        );
         assert_eq!(a, b);
-        let c = place_sources(20, &candidates(20), SourcePlacement::Uniform { total: 50 }, 2);
+        let c = place_sources(
+            20,
+            &candidates(20),
+            SourcePlacement::Uniform { total: 50 },
+            2,
+        );
         assert_ne!(a, c);
     }
 

@@ -197,12 +197,7 @@ mod tests {
     fn victim_sees_reflectors_not_attackers() {
         let c = candidates(100);
         // Attackers in ASes 0..10, reflectors in ASes 50..100.
-        let placed = place_sources(
-            100,
-            &c[..10],
-            SourcePlacement::Uniform { total: 5 },
-            1,
-        );
+        let placed = place_sources(100, &c[..10], SourcePlacement::Uniform { total: 5 }, 1);
         let reflectors = scatter_reflectors(&c[50..], 20, &[ReflectorKind::Ntp], 2);
         let (report, flows) = reflect_attack(&placed, &reflectors, 0xCB00_7101, 10_000, 3);
         // Apparent sources are reflector ASes only.
@@ -246,7 +241,9 @@ mod tests {
     #[test]
     fn zero_attackers_zero_traffic() {
         let c = candidates(10);
-        let placed = PlacedSources { counts: vec![0; 10] };
+        let placed = PlacedSources {
+            counts: vec![0; 10],
+        };
         let reflectors = scatter_reflectors(&c, 3, &[ReflectorKind::Dns], 7);
         let (report, flows) = reflect_attack(&placed, &reflectors, 1, 1_000, 8);
         assert_eq!(report.total_bytes, 0);

@@ -34,7 +34,11 @@ fn main() {
     let reflectors = scatter_reflectors(
         &all,
         40,
-        &[ReflectorKind::Ntp, ReflectorKind::Dns, ReflectorKind::Memcached],
+        &[
+            ReflectorKind::Ntp,
+            ReflectorKind::Dns,
+            ReflectorKind::Memcached,
+        ],
         7,
     );
     let victim_ip = u32::from_be_bytes([203, 0, 113, 80]);
@@ -85,7 +89,11 @@ fn main() {
     let link_volumes: Vec<Vec<u64>> = campaign
         .catchments
         .iter()
-        .map(|cat| honeypot.observe(cat, origin.num_links(), &flows).per_link_bytes)
+        .map(|cat| {
+            honeypot
+                .observe(cat, origin.num_links(), &flows)
+                .per_link_bytes
+        })
         .collect();
     let estimates = estimate_cluster_volumes(&campaign, &link_volumes, 10);
     println!(

@@ -127,8 +127,7 @@ fn main() {
     );
     let second_corpus: Vec<Vec<Asn>> = second_bgp.iter().map(|o| o.path.clone()).collect();
     let second_repaired = repair_campaign(&second_campaign, &second_corpus);
-    let second_measured =
-        combine_observations(&world.topology, &second_bgp, &second_repaired);
+    let second_measured = combine_observations(&world.topology, &second_bgp, &second_repaired);
     let mut series = vec![measured, second_measured];
     let stats = impute_visibility(&mut series, 0);
     println!(

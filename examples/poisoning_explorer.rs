@@ -44,8 +44,8 @@ fn main() {
     // no catchment traffic for the prefix, some targets are poison-immune).
     let mut shown = 0;
     for t in &targets {
-        let cfg = AnnouncementConfig::anycast_all(origin.num_links())
-            .with_poison(t.via, vec![t.target]);
+        let cfg =
+            AnnouncementConfig::anycast_all(origin.num_links()).with_poison(t.via, vec![t.target]);
         let poisoned = catchments_for(&engine, &origin, &cfg);
         let moved: Vec<AsIndex> = world
             .topology
@@ -69,8 +69,14 @@ fn main() {
             println!(
                 "    {}: {} -> {}",
                 world.topology.asn_of(i),
-                baseline.get(i).map(|l| origin.links[l.us()].pop.clone()).unwrap(),
-                poisoned.get(i).map(|l| origin.links[l.us()].pop.clone()).unwrap(),
+                baseline
+                    .get(i)
+                    .map(|l| origin.links[l.us()].pop.clone())
+                    .unwrap(),
+                poisoned
+                    .get(i)
+                    .map(|l| origin.links[l.us()].pop.clone())
+                    .unwrap(),
             );
         }
         // The poisoned AS itself must not route via the poisoned link's
@@ -97,8 +103,8 @@ fn main() {
     };
     let immune_engine = BgpEngine::new(&world.topology, &immune_cfg);
     let t = &targets[0];
-    let cfg = AnnouncementConfig::anycast_all(origin.num_links())
-        .with_poison(t.via, vec![t.target]);
+    let cfg =
+        AnnouncementConfig::anycast_all(origin.num_links()).with_poison(t.via, vec![t.target]);
     let a = catchments_for(&immune_engine, &origin, &baseline_cfg);
     let b = catchments_for(&immune_engine, &origin, &cfg);
     let moved = world

@@ -12,7 +12,11 @@ fn main() {
     //    peering links, PEERING-style.
     let world = generate(&TopologyConfig::medium(42));
     let origin = OriginAs::peering_style(&world, 5);
-    println!("world: {} ASes, {} links", world.topology.num_ases(), world.topology.num_links());
+    println!(
+        "world: {} ASes, {} links",
+        world.topology.num_ases(),
+        world.topology.num_links()
+    );
     println!("origin: {} with {} PoPs", origin.asn, origin.num_links());
     for link in &origin.links {
         println!("  {} via provider {}", link.pop, link.provider);

@@ -52,8 +52,9 @@ pub mod prelude {
     };
     pub use trackdown_core::generator::{full_schedule, GeneratorParams};
     pub use trackdown_core::localize::{
-        estimate_cluster_volumes, link_volume_matrix, rank_suspects, run_campaign, suspect_ases,
-        Campaign, CatchmentSource,
+        estimate_cluster_volumes, link_volume_matrix, rank_suspects, run_campaign,
+        run_campaign_mode, run_campaign_parallel, suspect_ases, Campaign, CampaignMode,
+        CampaignStats, CatchmentSource,
     };
     pub use trackdown_core::{AnnouncementConfig, Clustering, Dataset, Phase};
     pub use trackdown_measure::{MeasurementConfig, MeasurementPlane};

@@ -49,9 +49,7 @@ fn campaign_clustering_is_pinned() {
     assert_eq!(clusters, golden);
     // Mean size is determined by the two pinned numbers above.
     let mean = campaign.clustering.mean_size();
-    assert!(
-        (mean - campaign.tracked.len() as f64 / clusters as f64).abs() < 1e-12
-    );
+    assert!((mean - campaign.tracked.len() as f64 / clusters as f64).abs() < 1e-12);
 }
 
 #[test]
@@ -60,10 +58,45 @@ fn repeated_runs_are_bit_identical() {
     let (_, _, b) = campaign();
     assert_eq!(a.catchments, b.catchments);
     assert_eq!(a.tracked, b.tracked);
-    assert_eq!(
-        a.clustering.num_clusters(),
-        b.clustering.num_clusters()
+    assert_eq!(a.clustering.num_clusters(), b.clustering.num_clusters());
+}
+
+/// The parallel executor chunks the schedule by thread count, and each
+/// worker warm-starts and reorders its own chunk — none of which may leak
+/// into the results. 1, 2, and 8 threads must agree bit-for-bit with each
+/// other and with the sequential runner.
+#[test]
+fn parallel_campaign_is_thread_count_invariant() {
+    let world = generate(&TopologyConfig::small(0xD00D));
+    let origin = OriginAs::peering_style(&world, 4);
+    let engine = BgpEngine::new(&world.topology, &EngineConfig::default());
+    let schedule = full_schedule(
+        &world.topology,
+        &origin,
+        &GeneratorParams {
+            max_removals: 2,
+            max_poison_configs: Some(10),
+        },
     );
+    let (_, _, sequential) = campaign();
+    for threads in [1, 2, 8] {
+        let par = run_campaign_parallel(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            200,
+            threads,
+        );
+        assert_eq!(par.catchments, sequential.catchments, "{threads} threads");
+        assert_eq!(par.tracked, sequential.tracked, "{threads} threads");
+        assert_eq!(
+            par.clustering.clusters(),
+            sequential.clustering.clusters(),
+            "{threads} threads"
+        );
+        assert_eq!(par.records, sequential.records, "{threads} threads");
+    }
 }
 
 /// First run records the value; later assertions compare against the
@@ -72,9 +105,11 @@ fn repeated_runs_are_bit_identical() {
 fn golden_usize(key: &str, observed: usize) -> usize {
     match key {
         // Recorded from the first run of this test suite; update ONLY for
-        // deliberate algorithm changes.
-        "TOPOLOGY_LINKS" => 230,
-        "CAMPAIGN_CLUSTERS" => 27,
+        // deliberate algorithm changes. Regenerated when the workspace
+        // moved to the vendored in-tree RNG (different ChaCha8 word
+        // stream than upstream rand_chacha, same determinism guarantee).
+        "TOPOLOGY_LINKS" => 249,
+        "CAMPAIGN_CLUSTERS" => 47,
         _ => observed,
     }
 }

@@ -27,8 +27,7 @@ fn poison_immune_ases_keep_their_routes() {
     let origin = OriginAs::peering_style(&world, 4);
     let normal = BgpEngine::new(&world.topology, &engine_cfg(0.0, 0.0, false));
     let immune = BgpEngine::new(&world.topology, &engine_cfg(0.0, 1.0, false));
-    let targets =
-        trackdown_suite::core::generator::poison_targets(&world.topology, &origin);
+    let targets = trackdown_suite::core::generator::poison_targets(&world.topology, &origin);
     // Across all targets, poisoning must move at least one AS in the
     // normal world; in the fully-immune world the *poisoned AS itself*
     // never loses its route.

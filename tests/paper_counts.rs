@@ -42,11 +42,10 @@ fn peering_poison_limits_enforced() {
     // "The PEERING platform conservatively limits each announcement to two
     // poisoned ASes."
     assert_eq!(origin.max_poisons, 2);
-    let too_many = LinkAnnouncement::poisoned(
-        LinkId(0),
-        vec![Asn(11), Asn(12), Asn(13)],
-    );
-    assert!(origin.build_injections(&world.topology, &[too_many]).is_err());
+    let too_many = LinkAnnouncement::poisoned(LinkId(0), vec![Asn(11), Asn(12), Asn(13)]);
+    assert!(origin
+        .build_injections(&world.topology, &[too_many])
+        .is_err());
     // Two poisons pass, and the path carries the `o u o` sandwich.
     let ok = LinkAnnouncement::poisoned(LinkId(0), vec![Asn(11), Asn(12)]);
     let inj = origin

@@ -54,7 +54,10 @@ fn phases_monotonically_improve_localization() {
     // Most clusters are small: the majority of clusters have <= 2 members.
     let sizes = campaign.clustering.sizes();
     let small = sizes.iter().filter(|&&s| s <= 2).count();
-    assert!(small * 2 > sizes.len(), "small clusters are not the majority");
+    assert!(
+        small * 2 > sizes.len(),
+        "small clusters are not the majority"
+    );
 }
 
 /// Figure 5/6 shape: fewer locations ⇒ larger clusters (pointwise over
@@ -193,5 +196,8 @@ fn spoofed_volume_concentrates_in_small_clusters() {
     // placements, its curve tracks the AS-weighted cluster distribution
     // just like uniform — so only weak ordering is asserted.
     let single4 = frac_at(SourcePlacement::Single, 5000, 4);
-    assert!(single4 > 0.25, "single-source volume concentration ({single4})");
+    assert!(
+        single4 > 0.25,
+        "single-source volume concentration ({single4})"
+    );
 }

@@ -1,0 +1,177 @@
+//! Differential suite: the warm-start epoch-reuse executor must be
+//! indistinguishable — catchments, tracked set, clustering, per-config
+//! records — from the cold-start oracle that propagates every
+//! configuration from empty RIBs.
+//!
+//! On Gao-Rexford-conformant engines fixpoints are unique, so any
+//! divergence is an executor bug (stale session state, memo-key
+//! collision, reorder leakage). On engines with policy violators stable
+//! states are history-dependent (BGP wedgies) and the session must
+//! detect that and cold-start internally — these tests exercise both
+//! regimes, and are the proof obligation for the equivalence claim.
+
+use proptest::prelude::*;
+use trackdown_suite::core::localize::run_campaign_parallel_mode;
+use trackdown_suite::prelude::*;
+
+/// Engine config with the violator knob explicit: `clean` engines have
+/// unique fixpoints (true epoch reuse); default engines keep the 8%
+/// violator population and exercise the session's cold-start guard.
+fn engine_config(clean: bool) -> EngineConfig {
+    if clean {
+        EngineConfig {
+            policy: PolicyConfig {
+                violator_fraction: 0.0,
+                ..PolicyConfig::default()
+            },
+            ..EngineConfig::default()
+        }
+    } else {
+        EngineConfig::default()
+    }
+}
+
+/// Build a scenario from raw generator knobs: a small synthetic Internet,
+/// a multi-PoP origin, and a (possibly truncated) three-phase schedule.
+fn scenario(
+    seed: u64,
+    pops: usize,
+    max_removals: usize,
+    max_poison: usize,
+) -> (GeneratedTopology, OriginAs, Vec<AnnouncementConfig>) {
+    let world = generate(&TopologyConfig::small(seed));
+    let origin = OriginAs::peering_style(&world, pops);
+    let schedule = full_schedule(
+        &world.topology,
+        &origin,
+        &GeneratorParams {
+            max_removals,
+            max_poison_configs: Some(max_poison),
+        },
+    );
+    (world, origin, schedule)
+}
+
+/// The full equality obligation between two campaigns. Stats are exempt
+/// by design (they describe *how* the executor ran, not what it found).
+macro_rules! assert_campaigns_identical {
+    ($warm:expr, $cold:expr) => {
+        prop_assert_eq!(&$warm.configs, &$cold.configs);
+        prop_assert_eq!(&$warm.catchments, &$cold.catchments);
+        prop_assert_eq!(&$warm.tracked, &$cold.tracked);
+        prop_assert_eq!($warm.clustering.clusters(), $cold.clustering.clusters());
+        prop_assert_eq!(&$warm.records, &$cold.records);
+        prop_assert_eq!($warm.imputation, $cold.imputation);
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Sequential warm executor vs the cold oracle, both ground-truth
+    // catchment sources.
+    #[test]
+    fn warm_campaign_equals_cold_oracle(
+        seed in 0u64..500,
+        pops in 3usize..6,
+        max_removals in 0usize..3,
+        max_poison in 4usize..12,
+        data_plane in 0u8..2,
+        clean in 0u8..2,
+    ) {
+        let (world, origin, schedule) = scenario(seed, pops, max_removals, max_poison);
+        let engine = BgpEngine::new(&world.topology, &engine_config(clean == 1));
+        let source = if data_plane == 1 {
+            CatchmentSource::DataPlane
+        } else {
+            CatchmentSource::ControlPlane
+        };
+        let warm = run_campaign_mode(
+            &engine, &origin, &schedule, source, None, 200, CampaignMode::Warm);
+        let cold = run_campaign_mode(
+            &engine, &origin, &schedule, source, None, 200, CampaignMode::Cold);
+        assert_campaigns_identical!(warm, cold);
+        // Executor accounting: every configuration is either propagated
+        // or served from the memo, and the cold oracle never memoizes.
+        prop_assert_eq!(
+            warm.stats.propagations + warm.stats.memo_hits,
+            schedule.len()
+        );
+        prop_assert_eq!(cold.stats.propagations, schedule.len());
+        prop_assert_eq!(cold.stats.memo_hits, 0);
+    }
+
+    // Parallel warm workers (chunked sessions, per-chunk reordering and
+    // memoization) vs the sequential cold oracle.
+    #[test]
+    fn parallel_warm_equals_sequential_cold(
+        seed in 0u64..500,
+        max_poison in 4usize..12,
+        threads in 1usize..5,
+        clean in 0u8..2,
+    ) {
+        let (world, origin, schedule) = scenario(seed, 4, 1, max_poison);
+        let engine = BgpEngine::new(&world.topology, &engine_config(clean == 1));
+        let warm = run_campaign_parallel_mode(
+            &engine, &origin, &schedule, CatchmentSource::ControlPlane,
+            200, threads, CampaignMode::Warm);
+        let cold = run_campaign_mode(
+            &engine, &origin, &schedule, CatchmentSource::ControlPlane,
+            None, 200, CampaignMode::Cold);
+        assert_campaigns_identical!(warm, cold);
+    }
+
+    // Measured campaigns: the memo is disabled (the observation plane
+    // salts its noise per schedule index) but the warm session still
+    // drives the engine — imputation and the analysis set must match the
+    // cold oracle exactly, noise included.
+    #[test]
+    fn measured_warm_equals_measured_cold(
+        seed in 0u64..200,
+        max_poison in 4usize..8,
+        clean in 0u8..2,
+    ) {
+        let (world, origin, schedule) = scenario(seed, 4, 1, max_poison);
+        let engine = BgpEngine::new(&world.topology, &engine_config(clean == 1));
+        let cones = ConeInfo::compute(&world.topology);
+        let plane = MeasurementPlane::new(&world.topology, &cones, &MeasurementConfig::default());
+        let warm = run_campaign_mode(
+            &engine, &origin, &schedule, CatchmentSource::Measured,
+            Some(&plane), 200, CampaignMode::Warm);
+        let cold = run_campaign_mode(
+            &engine, &origin, &schedule, CatchmentSource::Measured,
+            Some(&plane), 200, CampaignMode::Cold);
+        assert_campaigns_identical!(warm, cold);
+        prop_assert_eq!(warm.stats.memo_hits, 0);
+        prop_assert_eq!(warm.stats.propagations, schedule.len());
+    }
+}
+
+// The default entry points are the warm executor; pin that so a future
+// refactor can't silently flip the default back to cold.
+#[test]
+fn default_entry_points_run_warm() {
+    let (world, origin, schedule) = scenario(11, 4, 1, 6);
+    let engine = BgpEngine::new(&world.topology, &EngineConfig::default());
+    let seq = run_campaign(
+        &engine,
+        &origin,
+        &schedule,
+        CatchmentSource::ControlPlane,
+        None,
+        200,
+    );
+    assert_eq!(seq.stats.mode, CampaignMode::Warm);
+    assert_eq!(seq.stats.propagations + seq.stats.memo_hits, schedule.len());
+    let par = run_campaign_parallel(
+        &engine,
+        &origin,
+        &schedule,
+        CatchmentSource::ControlPlane,
+        200,
+        2,
+    );
+    assert_eq!(par.stats.mode, CampaignMode::Warm);
+    assert_eq!(par.stats.threads, 2);
+    assert_eq!(seq.catchments, par.catchments);
+}

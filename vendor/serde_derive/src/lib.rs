@@ -1,0 +1,490 @@
+//! Vendored, minimal `serde_derive`: hand-rolled token parsing (no
+//! `syn`/`quote`, since the build is offline) generating impls of the
+//! vendored `serde::Serialize`/`serde::Deserialize` traits.
+//!
+//! Supports non-generic structs (named, tuple, unit) and enums (unit,
+//! tuple, struct variants) with external tagging, plus the container
+//! attribute `#[serde(transparent)]` and field attributes
+//! `#[serde(skip)]` / `#[serde(default)]` — the full inventory used by
+//! this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap()
+}
+
+// ---- model -----------------------------------------------------------
+
+struct Item {
+    name: String,
+    transparent: bool,
+    data: Data,
+}
+
+enum Data {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---- parsing ---------------------------------------------------------
+
+/// serde idents mentioned in `#[serde(...)]` attribute groups.
+fn attr_flags(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Vec<String> {
+    // Caller consumed `#`; next is the bracket group.
+    let mut flags = Vec::new();
+    if let Some(TokenTree::Group(g)) = tokens.next() {
+        let mut inner = g.stream().into_iter();
+        if let Some(TokenTree::Ident(id)) = inner.next() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(flag) = t {
+                            flags.push(flag.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    flags
+}
+
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let mut transparent = false;
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if attr_flags(&mut tokens).iter().any(|f| f == "transparent") {
+                    transparent = true;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(tokens.next());
+                reject_generics(tokens.peek());
+                let data = match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Data::Named(parse_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Data::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Unit,
+                    other => panic!("serde_derive: unexpected struct body: {other:?}"),
+                };
+                return Item {
+                    name,
+                    transparent,
+                    data,
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(tokens.next());
+                reject_generics(tokens.peek());
+                let data = match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Data::Enum(parse_variants(g.stream()))
+                    }
+                    other => panic!("serde_derive: unexpected enum body: {other:?}"),
+                };
+                return Item {
+                    name,
+                    transparent,
+                    data,
+                };
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: no struct or enum found"),
+        }
+    }
+}
+
+fn expect_ident(t: Option<TokenTree>) -> String {
+    match t {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn reject_generics(t: Option<&TokenTree>) {
+    if matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported");
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut skip = false;
+        let mut default = false;
+        // Field attributes.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            for flag in attr_flags(&mut tokens) {
+                match flag.as_str() {
+                    "skip" | "skip_serializing" | "skip_deserializing" => skip = true,
+                    "default" => default = true,
+                    _ => {}
+                }
+            }
+        }
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Consume the type: commas nested in angle brackets don't end the
+        // field (`BTreeMap<LinkId, Vec<Asn>>`); groups are atomic tokens.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            tokens.next();
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for t in stream {
+        any = true;
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            attr_flags(&mut tokens);
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                tokens.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Consume to the next top-level comma (skips discriminants).
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            tokens.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---- codegen: Serialize ----------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Named(fields) => {
+            let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if item.transparent {
+                assert!(
+                    active.len() == 1,
+                    "serde_derive: transparent requires exactly one field"
+                );
+                format!("serde::Serialize::to_value(&self.{})", active[0].name)
+            } else {
+                let mut pushes = String::new();
+                for f in &active {
+                    pushes.push_str(&format!(
+                        "__obj.push((String::from(\"{n}\"), serde::Serialize::to_value(&self.{n})));\n",
+                        n = f.name
+                    ));
+                }
+                format!(
+                    "let mut __obj: Vec<(String, serde::Value)> = Vec::new();\n{pushes}serde::Value::Object(__obj)"
+                )
+            }
+        }
+        Data::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::Unit => "serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Value::Array(vec![{vals}]))]),\n",
+                            binds = binds.join(", "),
+                            vals = vals.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = active
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{n}\"), serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Value::Object(vec![{entries}]))]),\n",
+                            binds = binds.join(", "),
+                            entries = entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n{body}\n    }}\n}}\n"
+    )
+}
+
+// ---- codegen: Deserialize --------------------------------------------
+
+fn named_fields_ctor(path: &str, fields: &[Field], obj_expr: &str, err_ctx: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{n}: Default::default(),\n", n = f.name));
+            continue;
+        }
+        let missing = if f.default {
+            "Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(serde::DeError::custom(\"{err_ctx}: missing field `{n}`\"))",
+                n = f.name
+            )
+        };
+        inits.push_str(&format!(
+            "{n}: match serde::obj_get({obj_expr}, \"{n}\") {{ Some(__x) => serde::Deserialize::from_value(__x)?, None => {missing} }},\n",
+            n = f.name
+        ));
+    }
+    format!("{path} {{ {inits} }}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Named(fields) => {
+            let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if item.transparent {
+                assert!(
+                    active.len() == 1,
+                    "serde_derive: transparent requires exactly one field"
+                );
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push_str(&format!("{n}: Default::default(),\n", n = f.name));
+                    } else {
+                        inits.push_str(&format!(
+                            "{n}: serde::Deserialize::from_value(__v)?,\n",
+                            n = f.name
+                        ));
+                    }
+                }
+                format!("Ok({name} {{ {inits} }})")
+            } else {
+                let ctor = named_fields_ctor(name, fields, "__obj", name);
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| serde::DeError::custom(format!(\"{name}: expected object, found {{__v:?}}\")))?;\nOk({ctor})"
+                )
+            }
+        }
+        Data::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(__v)?))"),
+        Data::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| serde::DeError::custom(\"{name}: expected array\"))?;\nif __arr.len() != {n} {{ return Err(serde::DeError::custom(\"{name}: wrong tuple arity\")); }}\nOk({name}({gets}))",
+                gets = gets.join(", ")
+            )
+        }
+        Data::Unit => format!("Ok({name})"),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut content_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        // Tolerate `{"Variant": null}` too.
+                        content_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    Shape::Tuple(1) => content_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(__content)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        content_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __arr = __content.as_array().ok_or_else(|| serde::DeError::custom(\"{name}::{vn}: expected array\"))?; if __arr.len() != {n} {{ return Err(serde::DeError::custom(\"{name}::{vn}: wrong arity\")); }} Ok({name}::{vn}({gets})) }}\n",
+                            gets = gets.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let ctor = named_fields_ctor(
+                            &format!("{name}::{vn}"),
+                            fields,
+                            "__obj",
+                            &format!("{name}::{vn}"),
+                        );
+                        content_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __obj = __content.as_object().ok_or_else(|| serde::DeError::custom(\"{name}::{vn}: expected object\"))?; Ok({ctor}) }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(serde::DeError::custom(format!(\"{name}: unknown variant `{{__other}}`\"))),\n}},\n\
+                 serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __content) = &__o[0];\n\
+                 match __tag.as_str() {{\n{content_arms}\
+                 __other => Err(serde::DeError::custom(format!(\"{name}: unknown variant `{{__other}}`\"))),\n}}\n}},\n\
+                 __other => Err(serde::DeError::custom(format!(\"{name}: expected externally-tagged variant, found {{__other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl serde::Deserialize for {name} {{\n    fn from_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n    }}\n}}\n"
+    )
+}
