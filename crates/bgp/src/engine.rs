@@ -238,10 +238,14 @@ impl<'t> BgpEngine<'t> {
     /// Propagate a set of origin injections to fixpoint (cold start:
     /// empty RIBs everywhere).
     pub fn propagate(&self, injections: &[Injection], max_events_factor: usize) -> RoutingOutcome {
+        let _span = trackdown_obs::span("bgp.propagate");
         let mut sim = Simulation::new(self);
         sim.apply_injections(injections);
         sim.run(max_events_factor);
-        sim.snapshot()
+        trackdown_obs::counter!("bgp.propagations").inc();
+        let outcome = sim.snapshot();
+        record_outcome_metrics(&outcome);
+        outcome
     }
 
     /// Deploy `next` *on top of* the converged state of `prev` — what a
@@ -287,6 +291,17 @@ impl<'t> BgpEngine<'t> {
     }
 }
 
+/// Feed one routing outcome's counters into the global metrics registry
+/// (post-hoc reads only: instrumentation can never perturb the outcome).
+fn record_outcome_metrics(outcome: &RoutingOutcome) {
+    trackdown_obs::counter!("bgp.events").add(outcome.events as u64);
+    trackdown_obs::counter!("bgp.changes").add(outcome.changes.len() as u64);
+    trackdown_obs::histogram!("bgp.rounds").observe(outcome.rounds as u64);
+    if !outcome.converged {
+        trackdown_obs::counter!("bgp.event_cap_hits").inc();
+    }
+}
+
 /// A persistent deployment session over one engine: the first deployment
 /// cold-starts, every later one is applied as an epoch transition on top
 /// of the previous converged state — what a real origin does when it
@@ -316,6 +331,7 @@ pub struct CampaignSession<'e, 't> {
     warm_reuse: bool,
     deployments: usize,
     cold_restarts: usize,
+    last_deploy_warm: bool,
 }
 
 impl<'e, 't> CampaignSession<'e, 't> {
@@ -327,6 +343,7 @@ impl<'e, 't> CampaignSession<'e, 't> {
             warm_reuse: engine.policy.num_violators() == 0,
             deployments: 0,
             cold_restarts: 0,
+            last_deploy_warm: false,
         }
     }
 
@@ -341,8 +358,9 @@ impl<'e, 't> CampaignSession<'e, 't> {
     /// Deploy a set of injections, replacing whatever is currently
     /// announced, and run to fixpoint.
     pub fn deploy(&mut self, injections: &[Injection], max_events_factor: usize) -> RoutingOutcome {
+        let _span = trackdown_obs::span("bgp.deploy");
         self.deployments += 1;
-        let warm = self.deployed && self.warm_reuse;
+        let mut warm = self.deployed && self.warm_reuse;
         if self.deployed && !self.warm_reuse {
             self.reset();
         }
@@ -360,12 +378,18 @@ impl<'e, 't> CampaignSession<'e, 't> {
             // from empty RIBs so its outcome (including the converged
             // flag) is exactly what a cold start reports.
             self.cold_restarts += 1;
+            trackdown_obs::counter!("bgp.session_cold_restarts").inc();
+            warm = false;
             self.reset();
             self.sim.apply_injections(injections);
             self.deployed = true;
             self.sim.run(max_events_factor);
         }
-        self.sim.snapshot_cloned()
+        self.last_deploy_warm = warm;
+        trackdown_obs::counter!("bgp.deployments").inc();
+        let outcome = self.sim.snapshot_cloned();
+        record_outcome_metrics(&outcome);
+        outcome
     }
 
     /// Validate a configuration against the origin, build injections, and
@@ -394,6 +418,14 @@ impl<'e, 't> CampaignSession<'e, 't> {
     /// Warm epochs that hit the event cap and were redone cold.
     pub fn cold_restarts(&self) -> usize {
         self.cold_restarts
+    }
+
+    /// Whether the most recent [`CampaignSession::deploy`] actually
+    /// reused the previous epoch's state (`false` for the first
+    /// deployment, violator-gated sessions, and event-cap cold
+    /// restarts) — the per-epoch `warm`/`cold` label run manifests use.
+    pub fn last_deploy_warm(&self) -> bool {
+        self.last_deploy_warm
     }
 }
 

@@ -4,9 +4,12 @@
 //! ```text
 //! trackdown topology  [--scale S] [--seed N] [--out FILE]   # export as-rel
 //! trackdown campaign  [--scale S] [--seed N] [--measured] [--cold] --out FILE
+//!                     [--metrics-out FILE] [--metrics-deterministic]
 //! trackdown info      --dataset FILE
 //! trackdown localize  --dataset FILE --attacker ASN [--attacker ASN ...]
 //! trackdown hijack    --dataset FILE [--config K]
+//! trackdown bench-snapshot [--out FILE]      # fixed small campaign -> BENCH_pipeline.json
+//! trackdown validate-manifest --manifest FILE
 //! ```
 
 use std::collections::BTreeSet;
@@ -17,7 +20,7 @@ use trackdown_core::hijack::all_impacts;
 use trackdown_core::localize::Campaign;
 use trackdown_core::report::render_table;
 use trackdown_core::Clustering;
-use trackdown_experiments::{Options, Scale, Scenario};
+use trackdown_experiments::{report_stats, Options, Scale, Scenario};
 use trackdown_topology::serfmt::{to_as_rel, to_dot};
 use trackdown_topology::Asn;
 
@@ -28,9 +31,14 @@ fn usage() -> ExitCode {
 USAGE:
   trackdown topology  [--scale small|medium|full] [--seed N] [--format as-rel|dot] [--out FILE]
   trackdown campaign  [--scale small|medium|full] [--seed N] [--measured] [--cold] --out FILE
+                      [--metrics-out FILE] [--metrics-deterministic]
   trackdown info      --dataset FILE
   trackdown localize  --dataset FILE --attacker ASN [--attacker ASN ...] [--volume BYTES]
-  trackdown hijack    --dataset FILE [--config K]"
+  trackdown hijack    --dataset FILE [--config K]
+  trackdown bench-snapshot [--out FILE]
+  trackdown validate-manifest --manifest FILE
+
+Set TRACKDOWN_SPANS=1 to stream span timings to stderr."
     );
     ExitCode::from(2)
 }
@@ -52,7 +60,7 @@ impl Args {
                 return None;
             }
             match a.as_str() {
-                "--measured" | "--cold" => flags.push(a.clone()),
+                "--measured" | "--cold" | "--metrics-deterministic" => flags.push(a.clone()),
                 _ => {
                     i += 1;
                     values.push((a.clone(), args.get(i)?.clone()));
@@ -93,6 +101,8 @@ impl Args {
         }
         opts.measured = self.has("--measured");
         opts.cold = self.has("--cold");
+        opts.metrics_out = self.get("--metrics-out").map(str::to_string);
+        opts.metrics_deterministic = self.has("--metrics-deterministic");
         Some(opts)
     }
 }
@@ -127,22 +137,9 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     let opts = args.options().ok_or("bad options")?;
     let out_path = args.get("--out").ok_or("campaign requires --out FILE")?;
     let scenario = Scenario::build(opts);
-    eprintln!("{}", scenario.describe());
+    scenario.announce();
     let campaign = scenario.run();
-    eprintln!(
-        "deployed {} configurations; {} tracked sources; mean cluster size {:.3}",
-        campaign.configs.len(),
-        campaign.tracked.len(),
-        campaign.clustering.mean_size()
-    );
-    eprintln!(
-        "{:?} execution: {} propagations, {} memo hits, {} cold restarts, {} thread(s)",
-        campaign.stats.mode,
-        campaign.stats.propagations,
-        campaign.stats.memo_hits,
-        campaign.stats.cold_restarts,
-        campaign.stats.threads
-    );
+    report_stats(&campaign);
     let dataset = Dataset::from_campaign(&scenario.gen.topology, &scenario.origin, &campaign);
     let json = dataset.to_json().map_err(|e| e.to_string())?;
     fs::write(out_path, json).map_err(|e| format!("write {out_path}: {e}"))?;
@@ -319,7 +316,121 @@ fn cmd_hijack(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Stable schema of `BENCH_pipeline.json` (see DESIGN.md §Observability).
+#[derive(serde::Serialize)]
+struct BenchSnapshot {
+    schema: u64,
+    bench: String,
+    scale: String,
+    seed: u64,
+    ases: usize,
+    configs: usize,
+    warm_ms: f64,
+    cold_ms: f64,
+    speedup: f64,
+    propagations: u64,
+    memo_hits: u64,
+    cold_restarts: u64,
+    mean_cluster_size: f64,
+}
+
+fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
+    use trackdown_core::localize::{run_campaign_mode, CampaignMode, CatchmentSource};
+
+    // Fixed workload so snapshots are comparable across commits: the
+    // small scale at seed 7 (the campaign the verify recipe drives), on
+    // a Gao-Rexford-clean engine — with policy violators the session
+    // cold-starts every epoch by design and there is nothing to bench.
+    let out_path = args.get("--out").unwrap_or("BENCH_pipeline.json");
+    let scenario = Scenario::build(Options {
+        scale: Scale::Small,
+        seed: 7,
+        ..Options::default()
+    });
+    let engine_cfg = trackdown_bgp::EngineConfig {
+        policy: trackdown_bgp::PolicyConfig {
+            violator_fraction: 0.0,
+            ..scenario.engine_cfg.policy.clone()
+        },
+        ..scenario.engine_cfg.clone()
+    };
+    let engine = trackdown_bgp::BgpEngine::new(&scenario.gen.topology, &engine_cfg);
+    let schedule = scenario.schedule();
+    let run = |mode: CampaignMode| {
+        let t = std::time::Instant::now();
+        let campaign = run_campaign_mode(
+            &engine,
+            &scenario.origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            scenario.engine_cfg.max_events_factor,
+            mode,
+        );
+        (campaign, t.elapsed().as_secs_f64() * 1e3)
+    };
+    // Untimed warm-up pass, then best-of-3 per arm: minima are robust to
+    // scheduler noise at this (few-ms) workload size.
+    let _ = run(CampaignMode::Warm);
+    let (mut warm, mut warm_ms) = run(CampaignMode::Warm);
+    let (mut cold, mut cold_ms) = run(CampaignMode::Cold);
+    for _ in 0..2 {
+        let (w, wms) = run(CampaignMode::Warm);
+        if wms < warm_ms {
+            (warm, warm_ms) = (w, wms);
+        }
+        let (c, cms) = run(CampaignMode::Cold);
+        if cms < cold_ms {
+            (cold, cold_ms) = (c, cms);
+        }
+    }
+    if warm.catchments != cold.catchments {
+        return Err("warm/cold campaigns diverged; bench snapshot aborted".into());
+    }
+
+    let snap = BenchSnapshot {
+        schema: 1,
+        bench: "pipeline".into(),
+        scale: "small".into(),
+        seed: 7,
+        ases: scenario.gen.topology.num_ases(),
+        configs: warm.configs.len(),
+        warm_ms: (warm_ms * 1e3).round() / 1e3,
+        cold_ms: (cold_ms * 1e3).round() / 1e3,
+        speedup: ((cold_ms / warm_ms) * 1e3).round() / 1e3,
+        propagations: warm.stats.propagations as u64,
+        memo_hits: warm.stats.memo_hits as u64,
+        cold_restarts: warm.stats.cold_restarts as u64,
+        mean_cluster_size: warm.clustering.mean_size(),
+    };
+    let json = serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?;
+    fs::write(out_path, json + "\n").map_err(|e| format!("write {out_path}: {e}"))?;
+    println!(
+        "wrote {out_path} (warm {:.1} ms, cold {:.1} ms, speedup {:.2}x)",
+        snap.warm_ms, snap.cold_ms, snap.speedup
+    );
+    Ok(())
+}
+
+fn cmd_validate_manifest(args: &Args) -> Result<(), String> {
+    let path = args.get("--manifest").ok_or("missing --manifest FILE")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let summary = trackdown_obs::validate_manifest(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid manifest — {} epochs ({} warm, {} cold, {} memo), \
+         schedule_len {}, deterministic {}",
+        summary.epochs,
+        summary.warm,
+        summary.cold,
+        summary.memo,
+        summary.schedule_len,
+        summary.deterministic
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    trackdown_obs::init_spans_from_env();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         return usage();
@@ -333,6 +444,8 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "localize" => cmd_localize(&args),
         "hijack" => cmd_hijack(&args),
+        "bench-snapshot" => cmd_bench_snapshot(&args),
+        "validate-manifest" => cmd_validate_manifest(&args),
         "--help" | "-h" | "help" => return usage(),
         other => Err(format!("unknown command {other:?}")),
     };

@@ -67,6 +67,7 @@ impl Clustering {
     /// "unobserved" pseudo-catchment, exactly like the `κ∖α` side of
     /// the paper's split).
     pub fn refine(&mut self, catchments: &Catchments) {
+        trackdown_obs::counter!("cluster.refines").inc();
         let mut remap: HashMap<(u32, Option<LinkId>), u32> = HashMap::new();
         let mut next = 0u32;
         for (k, &s) in self.sources.iter().enumerate() {

@@ -11,6 +11,7 @@ use trackdown_bgp::{BgpEngine, Catchments, LinkId, OriginAs, RoutingOutcome};
 use trackdown_measure::{
     analysis_set, impute_visibility, ImputationStats, MeasuredCatchments, MeasurementPlane,
 };
+use trackdown_obs::{CampaignRecorder, EpochMode, EpochRecord};
 use trackdown_topology::AsIndex;
 
 /// How catchments are obtained for each configuration.
@@ -154,6 +155,11 @@ fn assemble_campaign(
     imputation: Option<ImputationStats>,
     stats: CampaignStats,
 ) -> Campaign {
+    let _span = trackdown_obs::span("campaign.cluster");
+    trackdown_obs::counter!("campaign.runs").inc();
+    trackdown_obs::counter!("campaign.propagations").add(stats.propagations as u64);
+    trackdown_obs::counter!("campaign.memo_hits").add(stats.memo_hits as u64);
+    trackdown_obs::counter!("campaign.cold_restarts").add(stats.cold_restarts as u64);
     let mut clustering = Clustering::single(tracked.clone());
     let mut records = Vec::with_capacity(configs.len());
     for (k, cat) in catchments.iter().enumerate() {
@@ -203,7 +209,35 @@ pub fn run_campaign_mode(
     max_events_factor: usize,
     mode: CampaignMode,
 ) -> Campaign {
+    run_campaign_recorded(
+        engine,
+        origin,
+        configs,
+        source,
+        plane,
+        max_events_factor,
+        mode,
+        None,
+    )
+}
+
+/// [`run_campaign_mode`] with an optional [`CampaignRecorder`] collecting
+/// one [`EpochRecord`] per configuration for the JSONL run manifest. The
+/// recorder only *reads* each deployment's outcome after the fact, so it
+/// cannot perturb the campaign; with `None` it costs nothing.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_recorded(
+    engine: &BgpEngine<'_>,
+    origin: &OriginAs,
+    configs: &[AnnouncementConfig],
+    source: CatchmentSource,
+    plane: Option<&MeasurementPlane>,
+    max_events_factor: usize,
+    mode: CampaignMode,
+    recorder: Option<&CampaignRecorder>,
+) -> Campaign {
     assert!(!configs.is_empty(), "empty schedule");
+    let _span = trackdown_obs::span("campaign.run");
     let topo = engine.topology();
     let n = configs.len();
     let mut catchments_by_k: Vec<Option<Catchments>> = vec![None; n];
@@ -233,9 +267,23 @@ pub fn run_campaign_mode(
                 stats.memo_hits += 1;
                 catchments_by_k[k] = catchments_by_k[j].clone();
                 converged_by_k[k] = converged_by_k[j];
+                if let Some(rec) = recorder {
+                    rec.record(EpochRecord {
+                        epoch: k,
+                        footprint: key.clone(),
+                        mode: EpochMode::Memo,
+                        thread: 0,
+                        events: 0,
+                        rounds: 0,
+                        changes: 0,
+                        converged: converged_by_k[k].expect("memo entry deployed"),
+                        wall_us: None,
+                    });
+                }
                 continue;
             }
         }
+        let timer = recorder.and_then(|r| r.start_timer());
         let outcome = match mode {
             CampaignMode::Warm => {
                 session.deploy_config(origin, &cfg.to_link_announcements(), max_events_factor)
@@ -245,6 +293,23 @@ pub fn run_campaign_mode(
             }
         }
         .expect("validated configuration");
+        if let Some(rec) = recorder {
+            let epoch_mode = match mode {
+                CampaignMode::Warm if session.last_deploy_warm() => EpochMode::Warm,
+                _ => EpochMode::Cold,
+            };
+            rec.record(EpochRecord {
+                epoch: k,
+                footprint: memo_key.clone().unwrap_or_else(|| cfg.footprint_key()),
+                mode: epoch_mode,
+                thread: 0,
+                events: outcome.events,
+                rounds: outcome.rounds,
+                changes: outcome.changes.len(),
+                converged: outcome.converged,
+                wall_us: rec.elapsed_us(timer),
+            });
+        }
         stats.propagations += 1;
         converged_by_k[k] = Some(outcome.converged);
         match source {
@@ -337,11 +402,46 @@ pub fn run_campaign_parallel_mode(
     threads: usize,
     mode: CampaignMode,
 ) -> Campaign {
+    run_campaign_parallel_recorded(
+        engine,
+        origin,
+        configs,
+        source,
+        max_events_factor,
+        threads,
+        mode,
+        None,
+    )
+}
+
+/// [`run_campaign_parallel_mode`] with an optional [`CampaignRecorder`].
+///
+/// Workers record epochs in completion order from their own threads;
+/// the recorder re-sorts by schedule index on
+/// [`CampaignRecorder::take_records`], and no instrumentation value
+/// flows back into the campaign, so results stay identical across
+/// thread counts with or without a recorder attached (the 1/2/8-thread
+/// invariance golden runs with one attached). Per-epoch counters
+/// (`events`, `rounds`, `changes`) describe each worker's *own* warm
+/// chain and therefore legitimately vary with the chunking — only the
+/// campaign itself is thread-invariant.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_parallel_recorded(
+    engine: &BgpEngine<'_>,
+    origin: &OriginAs,
+    configs: &[AnnouncementConfig],
+    source: CatchmentSource,
+    max_events_factor: usize,
+    threads: usize,
+    mode: CampaignMode,
+    recorder: Option<&CampaignRecorder>,
+) -> Campaign {
     assert!(!configs.is_empty(), "empty schedule");
     assert!(
         source != CatchmentSource::Measured,
         "measured campaigns are sequential (the observation plane salts by deployment order)"
     );
+    let _span = trackdown_obs::span("campaign.run");
     let topo = engine.topology();
     let threads = threads.max(1);
     let chunk_size = configs.len().div_ceil(threads);
@@ -373,10 +473,24 @@ pub fn run_campaign_parallel_mode(
                         if let Some(&j) = memo.get(&key) {
                             memo_hits += 1;
                             local[off] = local[j].clone();
+                            if let Some(rec) = recorder {
+                                rec.record(EpochRecord {
+                                    epoch: base + off,
+                                    footprint: key,
+                                    mode: EpochMode::Memo,
+                                    thread: t,
+                                    events: 0,
+                                    rounds: 0,
+                                    changes: 0,
+                                    converged: local[off].as_ref().expect("memo entry deployed").1,
+                                    wall_us: None,
+                                });
+                            }
                             continue;
                         }
                         memo.insert(key, off);
                     }
+                    let timer = recorder.and_then(|r| r.start_timer());
                     let outcome = match mode {
                         CampaignMode::Warm => session.deploy_config(
                             origin,
@@ -390,6 +504,23 @@ pub fn run_campaign_parallel_mode(
                         ),
                     }
                     .expect("validated configuration");
+                    if let Some(rec) = recorder {
+                        let epoch_mode = match mode {
+                            CampaignMode::Warm if session.last_deploy_warm() => EpochMode::Warm,
+                            _ => EpochMode::Cold,
+                        };
+                        rec.record(EpochRecord {
+                            epoch: base + off,
+                            footprint: cfg.footprint_key(),
+                            mode: epoch_mode,
+                            thread: t,
+                            events: outcome.events,
+                            rounds: outcome.rounds,
+                            changes: outcome.changes.len(),
+                            converged: outcome.converged,
+                            wall_us: rec.elapsed_us(timer),
+                        });
+                    }
                     propagations += 1;
                     local[off] = Some((extract_catchments(source, &outcome), outcome.converged));
                 }

@@ -8,12 +8,12 @@ use trackdown_bgp::Catchments;
 use trackdown_core::generator::community_phase;
 use trackdown_core::localize::{run_campaign, CatchmentSource};
 use trackdown_core::targeting::{evaluate_proposals, propose_targeted_poisons};
-use trackdown_experiments::{Options, Scenario};
+use trackdown_experiments::{report_stats, Options, Scenario};
 
 fn main() {
     let opts = Options::from_args();
     let scenario = Scenario::build(opts);
-    eprintln!("# {}", scenario.describe());
+    scenario.announce();
     let engine = scenario.engine();
     // Two bases: a budget-limited schedule (locations only — an operator
     // early in a deployment) and the paper's full schedule. Extensions
@@ -44,6 +44,7 @@ fn run_base(
         None,
         200,
     );
+    report_stats(&campaign);
     println!("# Ablation on base: {base_label}\n");
     println!(
         "base ({} configs):               mean cluster size {:.3}",

@@ -8,7 +8,7 @@ use trackdown_experiments::{Options, Scenario};
 fn main() {
     let opts = Options::from_args();
     let scenario = Scenario::build(opts);
-    eprintln!("# {}", scenario.describe());
+    scenario.announce();
     let engine = scenario.engine();
     let schedule = scenario.schedule();
     let mut rounds: Vec<u32> = Vec::with_capacity(schedule.len());

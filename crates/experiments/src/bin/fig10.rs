@@ -1,12 +1,13 @@
 //! Regenerate Figure 10: traffic volume vs cluster size per distribution.
-use trackdown_experiments::{figures, Options, Scale, Scenario};
+use trackdown_experiments::{figures, report_stats, Options, Scale, Scenario};
 
 fn main() {
     let opts = Options::from_args();
     let scenario = Scenario::build(opts);
-    eprintln!("# {}", scenario.describe());
+    scenario.announce();
     let campaign = scenario.run();
-    let placements = match opts.scale {
+    report_stats(&campaign);
+    let placements = match scenario.scale {
         Scale::Small => 100,
         Scale::Medium => 300,
         Scale::Full => 1000,

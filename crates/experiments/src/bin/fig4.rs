@@ -1,9 +1,10 @@
 //! Regenerate Figure 4: cluster sizes vs number of configurations.
-use trackdown_experiments::{figures, Options, Scenario};
+use trackdown_experiments::{figures, report_stats, Options, Scenario};
 
 fn main() {
     let scenario = Scenario::build(Options::from_args());
-    eprintln!("# {}", scenario.describe());
+    scenario.announce();
     let campaign = scenario.run();
+    report_stats(&campaign);
     print!("{}", figures::fig4(&campaign));
 }

@@ -1,9 +1,10 @@
 //! Regenerate Figure 5: mean cluster size when removing peering locations.
-use trackdown_experiments::{figures, Options, Scenario};
+use trackdown_experiments::{figures, report_stats, Options, Scenario};
 
 fn main() {
     let scenario = Scenario::build(Options::from_args());
-    eprintln!("# {}", scenario.describe());
+    scenario.announce();
     let campaign = scenario.run();
+    report_stats(&campaign);
     print!("{}", figures::fig5(&scenario, &campaign));
 }

@@ -1,9 +1,10 @@
 //! Regenerate Figure 6: CCDF of cluster sizes after removing locations.
-use trackdown_experiments::{figures, Options, Scenario};
+use trackdown_experiments::{figures, report_stats, Options, Scenario};
 
 fn main() {
     let scenario = Scenario::build(Options::from_args());
-    eprintln!("# {}", scenario.describe());
+    scenario.announce();
     let campaign = scenario.run();
+    report_stats(&campaign);
     print!("{}", figures::fig6(&scenario, &campaign));
 }

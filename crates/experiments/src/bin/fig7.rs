@@ -1,9 +1,10 @@
 //! Regenerate Figure 7: cluster size vs AS-hop distance from the origin.
-use trackdown_experiments::{figures, Options, Scenario};
+use trackdown_experiments::{figures, report_stats, Options, Scenario};
 
 fn main() {
     let scenario = Scenario::build(Options::from_args());
-    eprintln!("# {}", scenario.describe());
+    scenario.announce();
     let campaign = scenario.run();
+    report_stats(&campaign);
     print!("{}", figures::fig7(&scenario, &campaign));
 }

@@ -1,18 +1,19 @@
 //! Regenerate Figure 8: random vs greedy announcement schedules.
-use trackdown_experiments::{figures, Options, Scale, Scenario};
+use trackdown_experiments::{figures, report_stats, Options, Scale, Scenario};
 
 fn main() {
     let opts = Options::from_args();
     let scenario = Scenario::build(opts);
-    eprintln!("# {}", scenario.describe());
+    scenario.announce();
     let campaign = scenario.run();
-    let (samples, steps) = match opts.scale {
+    report_stats(&campaign);
+    let (samples, steps) = match scenario.scale {
         Scale::Small => (100, 20),
         Scale::Medium => (200, 30),
         Scale::Full => (300, 40),
     };
     print!(
         "{}",
-        figures::fig8(&campaign, samples, steps, opts.seed ^ 0xF18)
+        figures::fig8(&campaign, samples, steps, scenario.seed ^ 0xF18)
     );
 }

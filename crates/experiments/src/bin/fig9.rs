@@ -3,6 +3,6 @@ use trackdown_experiments::{figures, Options, Scenario};
 
 fn main() {
     let scenario = Scenario::build(Options::from_args());
-    eprintln!("# {}", scenario.describe());
+    scenario.announce();
     print!("{}", figures::fig9(&scenario));
 }

@@ -4,12 +4,12 @@
 
 use trackdown_core::localize::{run_campaign, CatchmentSource};
 use trackdown_core::online::{simulate_online_attack, OnlineOptions};
-use trackdown_experiments::{Options, Scenario};
+use trackdown_experiments::{report_stats, Options, Scenario};
 
 fn main() {
     let opts = Options::from_args();
     let scenario = Scenario::build(opts);
-    eprintln!("# {}", scenario.describe());
+    scenario.announce();
     let engine = scenario.engine();
     let schedule = scenario.schedule();
     let campaign = run_campaign(
@@ -20,6 +20,7 @@ fn main() {
         None,
         200,
     );
+    report_stats(&campaign);
 
     let trials = 40usize;
     println!("# Online localization: configurations needed to reach the attacker's");

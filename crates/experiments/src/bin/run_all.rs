@@ -5,24 +5,31 @@
 //! candidate routes.
 use std::fs;
 use std::time::Instant;
-use trackdown_experiments::{figures, Options, Scale, Scenario};
+use trackdown_experiments::{figures, report_stats, Options, Scale, Scenario};
+use trackdown_obs::progress;
 
 fn main() {
     let opts = Options::from_args();
     let scenario = Scenario::build(opts);
-    println!("{}", scenario.describe());
+    scenario.announce();
     fs::create_dir_all("results").expect("create results dir");
 
     let t0 = Instant::now();
     let campaign = scenario.run();
-    println!(
-        "campaign: {} configs deployed in {:.1?}; final mean cluster size {:.3}",
-        campaign.configs.len(),
-        t0.elapsed(),
-        campaign.clustering.mean_size()
+    report_stats(&campaign);
+    progress::emit(
+        "campaign.done",
+        &[
+            ("configs", campaign.configs.len().to_string()),
+            ("elapsed_ms", t0.elapsed().as_millis().to_string()),
+            (
+                "mean_cluster_size",
+                format!("{:.3}", campaign.clustering.mean_size()),
+            ),
+        ],
     );
 
-    let (samples, steps, placements) = match opts.scale {
+    let (samples, steps, placements) = match scenario.scale {
         Scale::Small => (100, 20, 100),
         Scale::Medium => (200, 30, 300),
         Scale::Full => (300, 40, 1000),
@@ -37,7 +44,7 @@ fn main() {
         ("fig7.txt", figures::fig7(&scenario, &campaign)),
         (
             "fig8.txt",
-            figures::fig8(&campaign, samples, steps, opts.seed ^ 0xF18),
+            figures::fig8(&campaign, samples, steps, scenario.seed ^ 0xF18),
         ),
         ("fig9.txt", figures::fig9(&scenario)),
         (
@@ -50,10 +57,16 @@ fn main() {
         let path = format!("results/{file}");
         fs::write(&path, &content).expect("write result");
         let first = content.lines().next().unwrap_or("");
-        println!("wrote {path}  ({first})");
+        progress::emit(
+            "artifact.written",
+            &[("path", path.clone()), ("head", first.to_string())],
+        );
     }
-    println!("total {:.1?}", t0.elapsed());
-    println!(
+    progress::emit(
+        "run_all.done",
+        &[("elapsed_ms", t0.elapsed().as_millis().to_string())],
+    );
+    eprintln!(
         "extension studies (ablation, staleness, online, convergence) are separate \
          binaries; run e.g. `cargo run --release -p trackdown-experiments --bin ablation`"
     );

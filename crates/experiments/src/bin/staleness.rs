@@ -9,12 +9,12 @@ use trackdown_bgp::{BgpEngine, Catchments, EngineConfig, PolicyConfig};
 use trackdown_core::localize::{
     match_fraction_scores, rank_suspects, run_campaign, CatchmentSource,
 };
-use trackdown_experiments::{Options, Scenario};
+use trackdown_experiments::{report_stats, Options, Scenario};
 
 fn main() {
     let opts = Options::from_args();
     let scenario = Scenario::build(opts);
-    eprintln!("# {}", scenario.describe());
+    scenario.announce();
     let schedule = scenario.schedule();
 
     // Pre-attack measurement under the original routing.
@@ -27,6 +27,7 @@ fn main() {
         None,
         200,
     );
+    report_stats(&campaign);
 
     println!("# Staleness study: localization with pre-attack catchments");
     println!("# churn = fraction of (source, config) assignments that changed");

@@ -635,8 +635,7 @@ mod tests {
         let scenario = Scenario::build(Options {
             scale: Scale::Small,
             seed: 5,
-            measured: false,
-            cold: false,
+            ..Options::default()
         });
         let campaign = scenario.run();
         let t1 = super::table1(&scenario);

@@ -25,10 +25,13 @@
 use std::collections::BTreeSet;
 use trackdown_bgp::{BgpEngine, EngineConfig, LinkId, OriginAs, PolicyConfig};
 use trackdown_core::generator::{full_schedule, phase_boundaries, GeneratorParams};
-use trackdown_core::localize::{run_campaign_mode, Campaign, CampaignMode, CatchmentSource};
+use trackdown_core::localize::{
+    run_campaign_parallel_recorded, run_campaign_recorded, Campaign, CampaignMode, CatchmentSource,
+};
 use trackdown_core::report::{downsample, render_table, Series};
 use trackdown_core::{AnnouncementConfig, Phase};
 use trackdown_measure::{MeasurementConfig, MeasurementPlane};
+use trackdown_obs::{progress, CampaignRecorder, RunInfo};
 use trackdown_topology::cone::ConeInfo;
 use trackdown_topology::gen::{generate, GeneratedTopology, TopologyConfig};
 
@@ -55,10 +58,19 @@ impl Scale {
             _ => None,
         }
     }
+
+    /// The `--scale` argument spelling (manifest `scale` field).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Full => "full",
+        }
+    }
 }
 
 /// Command-line options shared by every experiment binary.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Options {
     /// Experiment scale.
     pub scale: Scale,
@@ -72,6 +84,12 @@ pub struct Options {
     /// Cold-start every configuration from scratch instead of the default
     /// warm-start epoch reuse. Slower; kept as the reference oracle.
     pub cold: bool,
+    /// Write a JSONL run manifest (run header, one epoch line per
+    /// configuration, metrics snapshot) to this path after each campaign.
+    pub metrics_out: Option<String>,
+    /// Suppress every wall-clock-derived manifest field so two runs of
+    /// the same campaign produce byte-identical manifests.
+    pub metrics_deterministic: bool,
 }
 
 impl Default for Options {
@@ -81,6 +99,8 @@ impl Default for Options {
             seed: 0x5eed_0001,
             measured: false,
             cold: false,
+            metrics_out: None,
+            metrics_deterministic: false,
         }
     }
 }
@@ -110,6 +130,11 @@ impl Options {
                 }
                 "--measured" => opts.measured = true,
                 "--cold" => opts.cold = true,
+                "--metrics-out" => {
+                    i += 1;
+                    opts.metrics_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+                }
+                "--metrics-deterministic" => opts.metrics_deterministic = true,
                 "--help" | "-h" => usage(),
                 other => {
                     eprintln!("unknown argument: {other}");
@@ -118,15 +143,31 @@ impl Options {
             }
             i += 1;
         }
+        // Span timing is opt-in via TRACKDOWN_SPANS=1 (stderr sink).
+        trackdown_obs::init_spans_from_env();
         opts
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: <experiment> [--scale small|medium|full] [--seed <u64>] [--measured] [--cold]"
+        "usage: <experiment> [--scale small|medium|full] [--seed <u64>] [--measured] [--cold] \
+         [--metrics-out FILE] [--metrics-deterministic]"
     );
     std::process::exit(2)
+}
+
+/// Stem of the running executable (manifest `name` field).
+fn program_name() -> String {
+    std::env::args()
+        .next()
+        .and_then(|a| {
+            std::path::Path::new(&a)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .map(str::to_string)
+        })
+        .unwrap_or_else(|| "trackdown".into())
 }
 
 /// A fully-built experiment scenario: topology, origin, engine
@@ -142,10 +183,16 @@ pub struct Scenario {
     pub params: GeneratorParams,
     /// Scale this scenario was built at.
     pub scale: Scale,
+    /// Topology seed the scenario was built from.
+    pub seed: u64,
     /// Whether campaigns run through the measurement plane.
     pub measured: bool,
     /// Whether campaigns cold-start every configuration (reference oracle).
     pub cold: bool,
+    /// Run-manifest output path ([`Scenario::run`] writes it when set).
+    pub metrics_out: Option<String>,
+    /// Whether manifests suppress wall-clock fields.
+    pub metrics_deterministic: bool,
 }
 
 impl Scenario {
@@ -195,8 +242,11 @@ impl Scenario {
             engine_cfg,
             params,
             scale: opts.scale,
+            seed: opts.seed,
             measured: opts.measured,
             cold: opts.cold,
+            metrics_out: opts.metrics_out,
+            metrics_deterministic: opts.metrics_deterministic,
         }
     }
 
@@ -218,6 +268,28 @@ impl Scenario {
     /// converged routing state unless `--cold` forces per-configuration
     /// cold starts (the slower reference oracle).
     pub fn run(&self) -> Campaign {
+        // Attach a recorder only when a manifest was requested; with
+        // `None` the executors skip all instrumentation work.
+        let recorder = self
+            .metrics_out
+            .as_ref()
+            .map(|_| CampaignRecorder::new(self.metrics_deterministic));
+        let campaign = self.run_recorded(recorder.as_ref());
+        if let (Some(path), Some(rec)) = (&self.metrics_out, &recorder) {
+            match self.write_manifest(path, rec, &campaign) {
+                Ok(()) => progress::emit("manifest.written", &[("path", path.clone())]),
+                Err(e) => {
+                    eprintln!("error: writing metrics manifest {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        campaign
+    }
+
+    /// [`Scenario::run`] with an explicit (optional) epoch recorder and
+    /// no manifest writing — the building block `run` wraps.
+    pub fn run_recorded(&self, recorder: Option<&CampaignRecorder>) -> Campaign {
         let engine = self.engine();
         let schedule = self.schedule();
         let mode = if self.cold {
@@ -229,7 +301,7 @@ impl Scenario {
             let cones = ConeInfo::compute(&self.gen.topology);
             let plane =
                 MeasurementPlane::new(&self.gen.topology, &cones, &MeasurementConfig::default());
-            run_campaign_mode(
+            run_campaign_recorded(
                 &engine,
                 &self.origin,
                 &schedule,
@@ -237,6 +309,7 @@ impl Scenario {
                 Some(&plane),
                 self.engine_cfg.max_events_factor,
                 mode,
+                recorder,
             )
         } else {
             // Independent configurations propagate in parallel — the
@@ -245,7 +318,7 @@ impl Scenario {
             let threads = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1);
-            trackdown_core::localize::run_campaign_parallel_mode(
+            run_campaign_parallel_recorded(
                 &engine,
                 &self.origin,
                 &schedule,
@@ -253,8 +326,55 @@ impl Scenario {
                 self.engine_cfg.max_events_factor,
                 threads,
                 mode,
+                recorder,
             )
         }
+    }
+
+    /// The manifest run header for a finished campaign of this scenario.
+    pub fn run_info(&self, campaign: &Campaign) -> RunInfo {
+        RunInfo {
+            name: program_name(),
+            seed: self.seed,
+            policy_seed: self.engine_cfg.policy.seed,
+            scale: self.scale.label().into(),
+            mode: if self.cold { "cold" } else { "warm" }.into(),
+            threads: campaign.stats.threads,
+            schedule_len: campaign.configs.len(),
+            deterministic: self.metrics_deterministic,
+        }
+    }
+
+    /// Write the JSONL run manifest for a finished campaign.
+    pub fn write_manifest(
+        &self,
+        path: &str,
+        recorder: &CampaignRecorder,
+        campaign: &Campaign,
+    ) -> std::io::Result<()> {
+        trackdown_obs::write_manifest(
+            path,
+            &self.run_info(campaign),
+            &recorder.take_records(),
+            Some(&trackdown_obs::global().snapshot()),
+        )
+    }
+
+    /// Emit the uniform `obs scenario ...` header event (replaces the
+    /// old ad-hoc `eprintln!("# ...")` prints in the binaries).
+    pub fn announce(&self) {
+        trackdown_obs::progress!(
+            "scenario",
+            name = program_name(),
+            scale = self.scale.label(),
+            seed = self.seed,
+            ases = self.gen.topology.num_ases(),
+            links = self.gen.topology.num_links(),
+            origin = self.origin.asn,
+            pops = self.origin.num_links(),
+            measured = self.measured,
+            cold = self.cold
+        );
     }
 
     /// Footprint link-id set covering all links.
@@ -273,6 +393,22 @@ impl Scenario {
             self.origin.num_links(),
         )
     }
+}
+
+/// Emit the uniform `obs campaign.stats ...` event for a finished
+/// campaign: execution counters plus localization quality headline.
+pub fn report_stats(campaign: &Campaign) {
+    trackdown_obs::progress!(
+        "campaign.stats",
+        mode = format!("{:?}", campaign.stats.mode).to_lowercase(),
+        configs = campaign.configs.len(),
+        tracked = campaign.tracked.len(),
+        propagations = campaign.stats.propagations,
+        memo_hits = campaign.stats.memo_hits,
+        cold_restarts = campaign.stats.cold_restarts,
+        threads = campaign.stats.threads,
+        mean_cluster_size = format!("{:.3}", campaign.clustering.mean_size())
+    );
 }
 
 /// Render a campaign's phase boundaries as text (used by several figures).
@@ -326,8 +462,7 @@ mod tests {
         let opts = Options {
             scale: Scale::Small,
             seed: 3,
-            measured: false,
-            cold: false,
+            ..Options::default()
         };
         let s = Scenario::build(opts);
         assert_eq!(s.origin.num_links(), 4);

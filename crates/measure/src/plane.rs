@@ -87,6 +87,7 @@ impl MeasurementPlane {
         origin_asn: Asn,
         config_salt: u64,
     ) -> MeasuredCatchments {
+        let _span = trackdown_obs::span("measure.measure");
         let bgp = collect_bgp_feeds(topo, outcome, &self.vantage.bgp_feeders, origin_asn);
         let probes = match self.cfg.probe_budget {
             Some(budget) => sample_probes(&self.vantage.probe_ases, budget, config_salt ^ 0xB0),
@@ -102,7 +103,11 @@ impl MeasurementPlane {
         );
         let corpus: Vec<Vec<Asn>> = bgp.iter().map(|o| o.path.clone()).collect();
         let repaired = repair_campaign(&campaign, &corpus);
-        combine_observations(topo, &bgp, &repaired)
+        let measured = combine_observations(topo, &bgp, &repaired);
+        trackdown_obs::counter!("measure.measurements").inc();
+        trackdown_obs::counter!("measure.bgp_observations").add(bgp.len() as u64);
+        trackdown_obs::counter!("measure.observed_sources").add(measured.observed_count() as u64);
+        measured
     }
 }
 

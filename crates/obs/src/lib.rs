@@ -1,0 +1,94 @@
+//! # trackdown-obs
+//!
+//! In-tree observability for the trackdown pipeline: a thread-safe
+//! metrics registry, scoped span timers with a pluggable sink, uniform
+//! progress events, and JSONL run manifests. Hand-rolled and
+//! dependency-light — the build is fully offline, so this is not a
+//! `tracing` vendor drop.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when off.** Spans are inert (one relaxed atomic load,
+//!    no clock read) until a sink is installed; campaign recorders are
+//!    `Option<&CampaignRecorder>` and skip everything on `None`.
+//!    Counters are single relaxed atomic adds on pre-resolved handles.
+//! 2. **Determinism-safe.** Instrumentation never feeds back into
+//!    results: recorders only *read* outcomes, parallel records are
+//!    re-sorted by schedule index, and deterministic manifests carry no
+//!    wall-clock-derived field at all.
+//! 3. **Stable schema.** Manifest lines are assembled from explicit key
+//!    lists and checked by [`manifest::validate_manifest`], which tests
+//!    and CI run against real output.
+//!
+//! ## Metric naming
+//!
+//! Dot-separated `area.metric` names: `bgp.events`, `campaign.memo_hits`,
+//! `measure.campaigns`, … Span timings land in `time.<span>` histograms
+//! (microseconds). See DESIGN.md §Observability for the full list.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manifest;
+pub mod metrics;
+pub mod progress;
+pub mod span;
+
+pub use manifest::{
+    render_manifest, validate_manifest, write_manifest, CampaignRecorder, EpochMode, EpochRecord,
+    ManifestSummary, RunInfo, MANIFEST_SCHEMA_VERSION,
+};
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
+pub use span::{
+    set_span_sink, span, spans_enabled, CollectingSink, NullSink, Span, SpanRecord, SpanSink,
+    StderrSink,
+};
+
+/// Resolve (once per call site) and return a `&'static`-lived handle to
+/// a counter in the global registry: `counter!("bgp.events").add(n)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// Per-call-site cached histogram handle in the global registry:
+/// `histogram!("bgp.rounds").observe(r)`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+/// Install the stderr span sink when `TRACKDOWN_SPANS` is set in the
+/// environment (any non-empty value). Binaries call this once at
+/// startup so span timing stays strictly opt-in.
+pub fn init_spans_from_env() {
+    if std::env::var("TRACKDOWN_SPANS").is_ok_and(|v| !v.is_empty()) {
+        set_span_sink(Some(std::sync::Arc::new(StderrSink)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_cache_one_handle_per_site() {
+        let a = counter!("lib.test.counter") as *const _;
+        let b = counter!("lib.test.counter") as *const _;
+        // Two call sites, two statics — but both point at the same
+        // registry entry, so increments agree.
+        counter!("lib.test.counter").inc();
+        assert_eq!(crate::global().counter("lib.test.counter").get(), 1);
+        let _ = (a, b);
+        histogram!("lib.test.hist").observe(3);
+        assert_eq!(crate::global().histogram("lib.test.hist").count(), 1);
+    }
+}

@@ -16,7 +16,9 @@
 //! * [`traffic`] — spoofed-traffic substrate (placement, packets,
 //!   honeypot, classification);
 //! * [`core`] — the paper's contribution: configuration generation,
-//!   catchment clustering, localization, scheduling, prediction.
+//!   catchment clustering, localization, scheduling, prediction;
+//! * [`obs`] — in-tree observability: metrics registry, span timers,
+//!   JSONL run manifests (see DESIGN.md §Observability).
 //!
 //! See the [`prelude`] for the names most programs want.
 //!
@@ -41,6 +43,7 @@
 pub use trackdown_bgp as bgp;
 pub use trackdown_core as core;
 pub use trackdown_measure as measure;
+pub use trackdown_obs as obs;
 pub use trackdown_topology as topology;
 pub use trackdown_traffic as traffic;
 

@@ -1,0 +1,83 @@
+//! Overhead guard: with the default no-op configuration (no span sink,
+//! no recorder), the instrumentation layer must not slow the campaign
+//! pipeline measurably. Run explicitly (CI does, in release mode):
+//!
+//! ```text
+//! cargo test --release --test obs_overhead -- --ignored
+//! ```
+//!
+//! Methodology: the same medium warm campaign is timed with spans
+//! disabled and with a [`NullSink`] installed (the worst realistic
+//! "instrumentation on" case short of I/O), alternating A/B/A/B and
+//! keeping the minimum per arm — minima are robust to scheduler noise
+//! where means are not. The threshold is 2% by default
+//! (`OBS_OVERHEAD_LIMIT_PCT` overrides it for noisy machines).
+
+use std::sync::Arc;
+use std::time::Instant;
+use trackdown_suite::core::localize::run_campaign;
+use trackdown_suite::obs::{set_span_sink, NullSink};
+use trackdown_suite::prelude::*;
+
+fn build() -> (GeneratedTopology, OriginAs, Vec<AnnouncementConfig>) {
+    let world = generate(&TopologyConfig::medium(7));
+    let origin = OriginAs::peering_style(&world, 5);
+    let schedule = full_schedule(
+        &world.topology,
+        &origin,
+        &GeneratorParams {
+            max_removals: 2,
+            max_poison_configs: Some(40),
+        },
+    );
+    (world, origin, schedule)
+}
+
+#[test]
+#[ignore = "timing-sensitive; run in release mode via CI's observability job"]
+fn noop_instrumentation_overhead_under_limit() {
+    let limit_pct: f64 = std::env::var("OBS_OVERHEAD_LIMIT_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let (world, origin, schedule) = build();
+    let engine = BgpEngine::new(&world.topology, &EngineConfig::default());
+    let run_once = || {
+        let t = Instant::now();
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        let dt = t.elapsed();
+        assert!(!campaign.records.is_empty());
+        dt
+    };
+
+    // Warm the caches (page-in, allocator) before measuring anything.
+    let _ = run_once();
+
+    let rounds = 5usize;
+    let mut best_off = f64::MAX;
+    let mut best_on = f64::MAX;
+    for _ in 0..rounds {
+        set_span_sink(None);
+        best_off = best_off.min(run_once().as_secs_f64());
+        set_span_sink(Some(Arc::new(NullSink)));
+        best_on = best_on.min(run_once().as_secs_f64());
+    }
+    set_span_sink(None);
+
+    let overhead_pct = (best_on / best_off - 1.0) * 100.0;
+    eprintln!(
+        "obs overhead: off {:.3}s, on(NullSink) {:.3}s, overhead {:+.2}% (limit {limit_pct}%)",
+        best_off, best_on, overhead_pct
+    );
+    assert!(
+        overhead_pct < limit_pct,
+        "no-op instrumentation overhead {overhead_pct:.2}% exceeds {limit_pct}%"
+    );
+}
