@@ -112,6 +112,60 @@ fn bench_warm_epochs(c: &mut Criterion) {
     });
 }
 
+// Interned-arena propagation core: catchment-only snapshots against full
+// snapshots (candidate RIBs + path store), and the steady-state warm loop
+// where the session's arena is reused across epochs without truncation.
+fn bench_propagate_path_arena(c: &mut Criterion) {
+    use trackdown_bgp::SnapshotDetail;
+    let mut group = c.benchmark_group("propagate_path_arena");
+    let world = generate(&TopologyConfig::medium(1));
+    let origin = OriginAs::peering_style(&world, 5);
+    let cfg = EngineConfig {
+        policy: trackdown_bgp::PolicyConfig {
+            violator_fraction: 0.0,
+            ..trackdown_bgp::PolicyConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+    let engine = BgpEngine::new(&world.topology, &cfg);
+    let anycast: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+    group.bench_function("cold_catchments_medium", |b| {
+        b.iter(|| {
+            let out = engine
+                .propagate_config_detailed(
+                    &origin,
+                    black_box(&anycast),
+                    200,
+                    SnapshotDetail::Catchments,
+                )
+                .unwrap();
+            black_box(out.reachable_count())
+        })
+    });
+    group.bench_function("cold_full_medium", |b| {
+        b.iter(|| {
+            let out = engine
+                .propagate_config_detailed(&origin, black_box(&anycast), 200, SnapshotDetail::Full)
+                .unwrap();
+            black_box(out.reachable_count())
+        })
+    });
+    // Steady state: re-deploying an unchanged config through a warm session
+    // touches no routes and interns no new paths — the arena high-water
+    // mark is reached on the first deploy and never grows.
+    group.bench_function("warm_steady_state_medium", |b| {
+        let mut session = engine.session();
+        session.deploy_config(&origin, &anycast, 200).unwrap();
+        b.iter(|| {
+            let out = session
+                .deploy_config(&origin, black_box(&anycast), 200)
+                .unwrap();
+            black_box(out.reachable_count())
+        })
+    });
+    group.finish();
+}
+
 fn bench_engine_setup(c: &mut Criterion) {
     let world = generate(&TopologyConfig::medium(1));
     c.bench_function("engine_build_medium", |b| {
@@ -126,6 +180,7 @@ criterion_group!(
     benches,
     bench_propagation,
     bench_warm_epochs,
+    bench_propagate_path_arena,
     bench_engine_setup
 );
 criterion_main!(benches);

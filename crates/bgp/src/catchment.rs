@@ -39,8 +39,9 @@ impl Catchments {
     /// origin. Slower but faithful to what traffic actually does; this is
     /// what honeypot volume accounting sees.
     pub fn from_data_plane(outcome: &RoutingOutcome) -> Catchments {
+        let mut walker = crate::engine::ForwardingWalker::new();
         let assignment = (0..outcome.best.len())
-            .map(|i| outcome.forwarding_walk(AsIndex(i as u32)).map(|w| w.link))
+            .map(|i| walker.walk(outcome, AsIndex(i as u32)).map(|w| w.link))
             .collect();
         Catchments { assignment }
     }

@@ -111,6 +111,74 @@ impl CommunitySet {
     }
 }
 
+/// Copyable bitmask form of a [`CommunitySet`], used inside the engine's
+/// [`crate::Route`] so routes stay `Copy`.
+///
+/// The encoding is **lossless** for valid sets (the only kind that reaches
+/// the engine — [`crate::OriginAs::build_injections`] validates first):
+/// bit 0 = [`Community::NoExportToPeers`], bit 1 =
+/// [`Community::NoExportToProviders`], and bit `1 + n` = presence of
+/// [`Community::PrependAtProvider`]`(n)` for `n` in 1–8. Set equality is
+/// therefore preserved exactly, which matters for the engine's
+/// route-equality checks (a lossy max-prepend encoding could merge
+/// distinct sets and alter change logs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct CommunityBits(u16);
+
+impl CommunityBits {
+    /// No communities attached.
+    pub const EMPTY: CommunityBits = CommunityBits(0);
+
+    /// Encode a community set. Out-of-range prepend counts (rejected by
+    /// injection validation before any engine sees them) are ignored.
+    pub fn from_set(set: &CommunitySet) -> CommunityBits {
+        let mut bits = 0u16;
+        for c in set.iter() {
+            match c {
+                Community::NoExportToPeers => bits |= 1,
+                Community::NoExportToProviders => bits |= 1 << 1,
+                Community::PrependAtProvider(n) if (1..=8).contains(&n) => {
+                    bits |= 1 << (1 + n as u16);
+                }
+                Community::PrependAtProvider(_) => {}
+            }
+        }
+        CommunityBits(bits)
+    }
+
+    /// True when no community is attached.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Mirror of [`CommunitySet::allows_export_to`].
+    #[inline]
+    pub fn allows_export_to(self, to_kind: NeighborKind) -> bool {
+        match to_kind {
+            NeighborKind::Customer => true,
+            NeighborKind::Peer => self.0 & 1 == 0,
+            NeighborKind::Provider => self.0 & (1 << 1) == 0,
+        }
+    }
+
+    /// Mirror of [`CommunitySet::provider_prepends`] (largest wins).
+    #[inline]
+    pub fn provider_prepends(self) -> usize {
+        let prepends = self.0 >> 2;
+        if prepends == 0 {
+            0
+        } else {
+            16 - prepends.leading_zeros() as usize
+        }
+    }
+}
+
+impl From<&CommunitySet> for CommunityBits {
+    fn from(set: &CommunitySet) -> CommunityBits {
+        CommunityBits::from_set(set)
+    }
+}
+
 impl FromIterator<Community> for CommunitySet {
     fn from_iter<T: IntoIterator<Item = Community>>(iter: T) -> Self {
         CommunitySet::from_vec(iter.into_iter().collect())
@@ -171,6 +239,47 @@ mod tests {
             Community::NoExportToProviders,
         ]);
         assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn bits_are_lossless_for_valid_sets() {
+        use NeighborKind::*;
+        // Every valid set round-trips behavior and preserves equality.
+        let sets = [
+            CommunitySet::empty(),
+            CommunitySet::from_vec(vec![Community::NoExportToPeers]),
+            CommunitySet::from_vec(vec![Community::NoExportToProviders]),
+            CommunitySet::from_vec(vec![
+                Community::NoExportToPeers,
+                Community::NoExportToProviders,
+            ]),
+            CommunitySet::from_vec(vec![Community::PrependAtProvider(1)]),
+            CommunitySet::from_vec(vec![Community::PrependAtProvider(8)]),
+            CommunitySet::from_vec(vec![
+                Community::PrependAtProvider(2),
+                Community::PrependAtProvider(5),
+            ]),
+            CommunitySet::from_vec(vec![
+                Community::NoExportToPeers,
+                Community::PrependAtProvider(3),
+            ]),
+        ];
+        for (i, a) in sets.iter().enumerate() {
+            let ba = CommunityBits::from_set(a);
+            assert_eq!(ba.is_empty(), a.is_empty());
+            assert_eq!(ba.provider_prepends(), a.provider_prepends());
+            for kind in [Customer, Peer, Provider] {
+                assert_eq!(ba.allows_export_to(kind), a.allows_export_to(kind));
+            }
+            for (j, b) in sets.iter().enumerate() {
+                assert_eq!(
+                    ba == CommunityBits::from_set(b),
+                    i == j,
+                    "bit encoding merged distinct sets {a:?} / {b:?}"
+                );
+            }
+        }
+        assert_eq!(CommunityBits::EMPTY, CommunityBits::from_set(&sets[0]));
     }
 
     #[test]

@@ -9,13 +9,14 @@
 //! which Gao-Rexford-compliant policies guarantee; an event cap guards
 //! against dispute wheels introduced by policy violators.
 
-use crate::community::CommunitySet;
+use crate::arena::{PathArena, PathStore};
+use crate::community::CommunityBits;
 use crate::origin::{Injection, LinkAnnouncement, OriginAs, OriginError};
 use crate::policy::{PolicyConfig, PolicyTable};
 use crate::route::{LinkId, Route};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use trackdown_topology::{cone::ConeInfo, AsIndex, NeighborKind, Topology};
+use trackdown_topology::{cone::ConeInfo, AsIndex, AsPath, NeighborKind, Topology};
 
 /// Engine configuration: policy knobs plus the convergence guard.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,14 +60,38 @@ pub struct ForwardingPath {
     pub link: LinkId,
 }
 
+/// How much of the fixpoint state a [`RoutingOutcome`] captures.
+///
+/// The campaign pipeline only ever reads catchments (ingress tags and
+/// next hops) from an outcome, so the default snapshot skips the two
+/// expensive captures: the per-AS candidate RIB copy and the path-arena
+/// store. Analyses that read candidate sets or path contents (compliance
+/// / Fig 9, traceroute feeders, report output) opt into [`Full`].
+///
+/// [`Full`]: SnapshotDetail::Full
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SnapshotDetail {
+    /// Capture best routes only: enough for catchments, forwarding walks,
+    /// change logs, and convergence accounting. `candidates` is absent and
+    /// the outcome's [`PathStore`] is empty (materializing panics).
+    #[default]
+    Catchments,
+    /// Additionally capture the candidate RIBs and a [`PathStore`]
+    /// snapshot so routes can be materialized into [`AsPath`]s.
+    Full,
+}
+
 /// Fixpoint routing state for one announcement configuration.
 #[derive(Debug, Clone)]
 pub struct RoutingOutcome {
     /// Best route per AS (`None` = prefix unreachable from that AS).
     pub best: Vec<Option<Route>>,
-    /// Adj-RIB-In snapshot per AS at fixpoint: every candidate route that
-    /// survived import. Used by the compliance analysis (Fig 9).
-    pub candidates: Vec<Vec<Route>>,
+    /// Adj-RIB-In snapshot per AS at fixpoint (only at
+    /// [`SnapshotDetail::Full`]); see [`RoutingOutcome::candidates`].
+    candidates: Option<Vec<Vec<Route>>>,
+    /// Interned path nodes backing this outcome's routes (empty unless
+    /// captured at [`SnapshotDetail::Full`]).
+    pub paths: PathStore,
     /// Number of decision events processed.
     pub events: usize,
     /// Convergence depth: the longest chain of causally-dependent best-
@@ -98,19 +123,89 @@ impl RoutingOutcome {
             .collect()
     }
 
+    /// Adj-RIB-In snapshot per AS at fixpoint: every candidate route that
+    /// survived import. Used by the compliance analysis (Fig 9).
+    ///
+    /// # Panics
+    /// Panics when the outcome was captured at
+    /// [`SnapshotDetail::Catchments`] (the default), which skips the
+    /// candidate copy.
+    pub fn candidates(&self) -> &[Vec<Route>] {
+        self.candidates
+            .as_deref()
+            .expect("candidates not captured — snapshot with SnapshotDetail::Full")
+    }
+
+    /// True when candidate RIBs were captured ([`SnapshotDetail::Full`]).
+    pub fn has_candidates(&self) -> bool {
+        self.candidates.is_some()
+    }
+
+    /// Materialize a route's AS-path from this outcome's [`PathStore`].
+    ///
+    /// # Panics
+    /// Panics at [`SnapshotDetail::Catchments`] detail (no store captured)
+    /// or if `route` belongs to a different outcome.
+    pub fn path_of(&self, route: &Route) -> AsPath {
+        self.paths.materialize(route.path_id)
+    }
+
     /// Walk the data plane from `from` toward the origin, following each
     /// AS's best-route next hop. Returns `None` when the prefix is
     /// unreachable or a forwarding loop is met (possible only when some AS
     /// on the walk has loop prevention disabled).
+    ///
+    /// Convenience wrapper that allocates a fresh [`ForwardingWalker`];
+    /// batch callers (catchment extraction, traceroute campaigns) keep one
+    /// walker and reuse its visited buffer across walks.
     pub fn forwarding_walk(&self, from: AsIndex) -> Option<ForwardingPath> {
+        ForwardingWalker::new().walk(self, from)
+    }
+
+    /// Number of ASes that can reach the prefix.
+    pub fn reachable_count(&self) -> usize {
+        self.best.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+/// Reusable data-plane walker: replaces the per-walk `HashSet` with a
+/// stamped visited vector, so running one walk per source AS per epoch
+/// (the catchment and traceroute loops) performs no per-walk allocation
+/// after the first.
+#[derive(Debug, Default)]
+pub struct ForwardingWalker {
+    /// `visited[i] == stamp` ⟺ AS `i` was visited during the current walk.
+    visited: Vec<u32>,
+    stamp: u32,
+}
+
+impl ForwardingWalker {
+    /// A fresh walker (no buffer yet; sized lazily on first walk).
+    pub fn new() -> ForwardingWalker {
+        ForwardingWalker::default()
+    }
+
+    /// [`RoutingOutcome::forwarding_walk`] with this walker's buffer.
+    pub fn walk(&mut self, outcome: &RoutingOutcome, from: AsIndex) -> Option<ForwardingPath> {
+        if self.visited.len() < outcome.best.len() {
+            self.visited.resize(outcome.best.len(), self.stamp);
+        }
+        // Advance the stamp; on wraparound, reset the buffer once.
+        self.stamp = match self.stamp.checked_add(1) {
+            Some(s) => s,
+            None => {
+                self.visited.fill(0);
+                1
+            }
+        };
         let mut hops = Vec::new();
         let mut cur = from;
-        let mut visited = std::collections::HashSet::new();
         loop {
-            if !visited.insert(cur) {
+            if self.visited[cur.us()] == self.stamp {
                 return None; // forwarding loop
             }
-            let route = self.best[cur.us()].as_ref()?;
+            self.visited[cur.us()] = self.stamp;
+            let route = outcome.best[cur.us()].as_ref()?;
             hops.push(cur);
             match route.from_neighbor {
                 Some(next) => cur = next,
@@ -122,11 +217,6 @@ impl RoutingOutcome {
                 }
             }
         }
-    }
-
-    /// Number of ASes that can reach the prefix.
-    pub fn reachable_count(&self) -> usize {
-        self.best.iter().filter(|b| b.is_some()).count()
     }
 }
 
@@ -180,8 +270,24 @@ impl<'t> BgpEngine<'t> {
         announcements: &[LinkAnnouncement],
         max_events_factor: usize,
     ) -> Result<RoutingOutcome, OriginError> {
+        self.propagate_config_detailed(
+            origin,
+            announcements,
+            max_events_factor,
+            SnapshotDetail::Catchments,
+        )
+    }
+
+    /// [`BgpEngine::propagate_config`] with an explicit snapshot detail.
+    pub fn propagate_config_detailed(
+        &self,
+        origin: &OriginAs,
+        announcements: &[LinkAnnouncement],
+        max_events_factor: usize,
+        detail: SnapshotDetail,
+    ) -> Result<RoutingOutcome, OriginError> {
         let inj = origin.build_injections(self.topo, announcements)?;
-        Ok(self.propagate(&inj, max_events_factor))
+        Ok(self.propagate_detailed(&inj, max_events_factor, detail))
     }
 
     /// Position of neighbor `j` within `i`'s (sorted) neighbor list.
@@ -199,8 +305,8 @@ impl<'t> BgpEngine<'t> {
         if a.local_pref != b.local_pref {
             return a.local_pref > b.local_pref;
         }
-        if a.path_len() != b.path_len() {
-            return a.path_len() < b.path_len();
+        if a.path_len != b.path_len {
+            return a.path_len < b.path_len;
         }
         let ta = self.policy.tiebreak(at, a);
         let tb = self.policy.tiebreak(at, b);
@@ -232,18 +338,28 @@ impl<'t> BgpEngine<'t> {
                 }
             };
         }
-        best.cloned()
+        best.copied()
     }
 
     /// Propagate a set of origin injections to fixpoint (cold start:
     /// empty RIBs everywhere).
     pub fn propagate(&self, injections: &[Injection], max_events_factor: usize) -> RoutingOutcome {
+        self.propagate_detailed(injections, max_events_factor, SnapshotDetail::Catchments)
+    }
+
+    /// [`BgpEngine::propagate`] with an explicit snapshot detail.
+    pub fn propagate_detailed(
+        &self,
+        injections: &[Injection],
+        max_events_factor: usize,
+        detail: SnapshotDetail,
+    ) -> RoutingOutcome {
         let _span = trackdown_obs::span("bgp.propagate");
         let mut sim = Simulation::new(self);
         sim.apply_injections(injections);
         sim.run(max_events_factor);
         trackdown_obs::counter!("bgp.propagations").inc();
-        let outcome = sim.snapshot();
+        let outcome = sim.snapshot(detail);
         record_outcome_metrics(&outcome);
         outcome
     }
@@ -261,13 +377,24 @@ impl<'t> BgpEngine<'t> {
         next: &[Injection],
         max_events_factor: usize,
     ) -> RoutingOutcome {
+        self.transition_detailed(prev, next, max_events_factor, SnapshotDetail::Catchments)
+    }
+
+    /// [`BgpEngine::transition`] with an explicit snapshot detail.
+    pub fn transition_detailed(
+        &self,
+        prev: &[Injection],
+        next: &[Injection],
+        max_events_factor: usize,
+        detail: SnapshotDetail,
+    ) -> RoutingOutcome {
         let mut sim = Simulation::new(self);
         sim.apply_injections(prev);
         sim.run(max_events_factor);
         sim.begin_epoch();
         sim.replace_injections(next);
         sim.run(max_events_factor);
-        sim.snapshot()
+        sim.snapshot(detail)
     }
 
     /// Convenience: transition between two origin configurations.
@@ -278,9 +405,27 @@ impl<'t> BgpEngine<'t> {
         next: &[LinkAnnouncement],
         max_events_factor: usize,
     ) -> Result<RoutingOutcome, OriginError> {
+        self.transition_config_detailed(
+            origin,
+            prev,
+            next,
+            max_events_factor,
+            SnapshotDetail::Catchments,
+        )
+    }
+
+    /// [`BgpEngine::transition_config`] with an explicit snapshot detail.
+    pub fn transition_config_detailed(
+        &self,
+        origin: &OriginAs,
+        prev: &[LinkAnnouncement],
+        next: &[LinkAnnouncement],
+        max_events_factor: usize,
+        detail: SnapshotDetail,
+    ) -> Result<RoutingOutcome, OriginError> {
         let prev_inj = origin.build_injections(self.topo, prev)?;
         let next_inj = origin.build_injections(self.topo, next)?;
-        Ok(self.transition(&prev_inj, &next_inj, max_events_factor))
+        Ok(self.transition_detailed(&prev_inj, &next_inj, max_events_factor, detail))
     }
 
     /// Open a persistent [`CampaignSession`]: a warm routing state that
@@ -332,6 +477,7 @@ pub struct CampaignSession<'e, 't> {
     deployments: usize,
     cold_restarts: usize,
     last_deploy_warm: bool,
+    peak_arena_nodes: usize,
 }
 
 impl<'e, 't> CampaignSession<'e, 't> {
@@ -344,6 +490,7 @@ impl<'e, 't> CampaignSession<'e, 't> {
             deployments: 0,
             cold_restarts: 0,
             last_deploy_warm: false,
+            peak_arena_nodes: 0,
         }
     }
 
@@ -358,6 +505,16 @@ impl<'e, 't> CampaignSession<'e, 't> {
     /// Deploy a set of injections, replacing whatever is currently
     /// announced, and run to fixpoint.
     pub fn deploy(&mut self, injections: &[Injection], max_events_factor: usize) -> RoutingOutcome {
+        self.deploy_detailed(injections, max_events_factor, SnapshotDetail::Catchments)
+    }
+
+    /// [`CampaignSession::deploy`] with an explicit snapshot detail.
+    pub fn deploy_detailed(
+        &mut self,
+        injections: &[Injection],
+        max_events_factor: usize,
+        detail: SnapshotDetail,
+    ) -> RoutingOutcome {
         let _span = trackdown_obs::span("bgp.deploy");
         self.deployments += 1;
         let mut warm = self.deployed && self.warm_reuse;
@@ -386,8 +543,9 @@ impl<'e, 't> CampaignSession<'e, 't> {
             self.sim.run(max_events_factor);
         }
         self.last_deploy_warm = warm;
+        self.peak_arena_nodes = self.peak_arena_nodes.max(self.sim.arena.num_nodes());
         trackdown_obs::counter!("bgp.deployments").inc();
-        let outcome = self.sim.snapshot_cloned();
+        let outcome = self.sim.snapshot_cloned(detail);
         record_outcome_metrics(&outcome);
         outcome
     }
@@ -400,14 +558,44 @@ impl<'e, 't> CampaignSession<'e, 't> {
         announcements: &[LinkAnnouncement],
         max_events_factor: usize,
     ) -> Result<RoutingOutcome, OriginError> {
+        self.deploy_config_detailed(
+            origin,
+            announcements,
+            max_events_factor,
+            SnapshotDetail::Catchments,
+        )
+    }
+
+    /// [`CampaignSession::deploy_config`] with an explicit snapshot detail.
+    pub fn deploy_config_detailed(
+        &mut self,
+        origin: &OriginAs,
+        announcements: &[LinkAnnouncement],
+        max_events_factor: usize,
+        detail: SnapshotDetail,
+    ) -> Result<RoutingOutcome, OriginError> {
         let inj = origin.build_injections(self.sim.engine.topo, announcements)?;
-        Ok(self.deploy(&inj, max_events_factor))
+        Ok(self.deploy_detailed(&inj, max_events_factor, detail))
     }
 
     /// Drop all routing state: the next deployment cold-starts.
+    ///
+    /// The reset is in place: RIB vectors, the activation queue, and the
+    /// path arena keep their allocated capacity, so a violator-gated
+    /// session (which cold-starts every deployment through here) performs
+    /// no heap allocation in the decide/export loop after its first
+    /// deployment reaches the arena's high-water mark. This is also the
+    /// *only* point where the arena is truncated — outstanding
+    /// [`crate::PathId`]s live in the RIBs being dropped alongside, never
+    /// across a truncation.
     pub fn reset(&mut self) {
-        self.sim = Simulation::new(self.sim.engine);
+        self.sim.clear();
         self.deployed = false;
+    }
+
+    /// High-water mark of interned path nodes across all deployments.
+    pub fn peak_arena_nodes(&self) -> usize {
+        self.peak_arena_nodes
     }
 
     /// Configurations deployed through this session.
@@ -435,6 +623,12 @@ impl<'e, 't> CampaignSession<'e, 't> {
 /// [`BgpEngine::transition`] models warm-start configuration changes.
 struct Simulation<'e, 't> {
     engine: &'e BgpEngine<'t>,
+    /// Interned AS-paths for every route alive in this state. Append-only
+    /// between [`Simulation::clear`]s: truncating while `direct`/`ribs`/
+    /// `best` hold [`crate::PathId`]s would dangle them, so warm epochs
+    /// never truncate — canonical interning makes re-offered paths
+    /// converge to a high-water set instead of growing without bound.
+    arena: PathArena,
     direct: Vec<Vec<Route>>,
     ribs: Vec<Vec<Option<Route>>>,
     best: Vec<Option<Route>>,
@@ -454,6 +648,7 @@ impl<'e, 't> Simulation<'e, 't> {
         let n = topo.num_ases();
         Simulation {
             engine,
+            arena: PathArena::new(),
             direct: vec![Vec::new(); n],
             ribs: topo.indices().map(|i| vec![None; topo.degree(i)]).collect(),
             best: vec![None; n],
@@ -466,6 +661,30 @@ impl<'e, 't> Simulation<'e, 't> {
             events: 0,
             converged: true,
         }
+    }
+
+    /// Reset to the just-constructed state *in place*, retaining every
+    /// allocation (RIB vectors, queue, change log, and the path arena's
+    /// node table and interning map). Identical operation sequences after
+    /// a clear intern identical [`crate::PathId`]s, so a cleared
+    /// simulation is bit-equivalent to a fresh one.
+    fn clear(&mut self) {
+        self.arena.clear();
+        for d in &mut self.direct {
+            d.clear();
+        }
+        for rib in &mut self.ribs {
+            rib.fill(None);
+        }
+        self.best.fill(None);
+        self.queue.clear();
+        self.in_queue.fill(false);
+        self.depth.fill(0);
+        self.pending_depth.fill(0);
+        self.max_depth = 0;
+        self.changes.clear();
+        self.events = 0;
+        self.converged = true;
     }
 
     fn enqueue(&mut self, i: AsIndex) {
@@ -489,13 +708,15 @@ impl<'e, 't> Simulation<'e, 't> {
             let lp = engine
                 .policy
                 .local_pref(inj.provider, None, NeighborKind::Customer);
+            let path_id = self.arena.intern_path(&inj.path);
             self.direct[inj.provider.us()].push(Route {
-                path: inj.path.clone(),
+                path_id,
+                path_len: inj.path.len() as u32,
                 ingress: inj.link,
                 from_neighbor: None,
                 local_pref: lp,
                 learned_from: NeighborKind::Customer,
-                communities: inj.communities.clone(),
+                communities: CommunityBits::from_set(&inj.communities),
             });
             self.enqueue(inj.provider);
         }
@@ -547,17 +768,14 @@ impl<'e, 't> Simulation<'e, 't> {
             self.changes.push(RouteChange {
                 round: self.depth[i.us()],
                 at: i,
-                ingress: self.best[i.us()].as_ref().map(|r| r.ingress),
-                path_len: self.best[i.us()]
-                    .as_ref()
-                    .map(|r| r.path_len())
-                    .unwrap_or(0),
+                ingress: new_best.map(|r| r.ingress),
+                path_len: new_best.map(|r| r.path_len()).unwrap_or(0),
             });
             let own_asn = engine.topo.asn_of(i);
             // Export (or withdraw) toward every neighbor.
             for &(j, j_kind_from_i) in engine.topo.neighbors(i) {
                 // `j_kind_from_i`: how j looks from i (is j my customer?).
-                let offer = match &self.best[i.us()] {
+                let offer = match new_best {
                     Some(r)
                         if engine.policy.may_export(r.learned_from, j_kind_from_i)
                             // Origin action communities: the PoP provider
@@ -575,17 +793,28 @@ impl<'e, 't> Simulation<'e, 't> {
                         } else {
                             0
                         };
-                        let path = r.path.prepended_by_times(own_asn, 1 + extra);
-                        if engine.policy.accepts(engine.topo, j, Some(i), &path) {
+                        // Evaluate acceptance on the *virtual* offered path
+                        // (prepends chained onto the arena walk) before
+                        // interning, so rejected offers push no nodes.
+                        let accepted = engine.policy.accepts_iter(
+                            engine.topo,
+                            j,
+                            Some(i),
+                            std::iter::repeat_n(own_asn, 1 + extra)
+                                .chain(self.arena.iter(r.path_id)),
+                        );
+                        if accepted {
+                            let path_id = self.arena.push_times(r.path_id, own_asn, 1 + extra);
                             let i_kind_from_j = j_kind_from_i.reverse();
                             Some(Route {
-                                path,
+                                path_id,
+                                path_len: r.path_len + 1 + extra as u32,
                                 ingress: r.ingress,
                                 from_neighbor: Some(i),
                                 local_pref: engine.policy.local_pref(j, Some(i), i_kind_from_j),
                                 learned_from: i_kind_from_j,
                                 // First-hop semantics: stripped on export.
-                                communities: CommunitySet::empty(),
+                                communities: CommunityBits::EMPTY,
                             })
                         } else {
                             None
@@ -604,20 +833,29 @@ impl<'e, 't> Simulation<'e, 't> {
         }
     }
 
-    /// Snapshot the converged state into a [`RoutingOutcome`].
-    fn snapshot(self) -> RoutingOutcome {
-        let candidates = (0..self.direct.len())
+    /// Candidate RIB copy for a [`SnapshotDetail::Full`] snapshot.
+    fn capture_candidates(&self) -> Vec<Vec<Route>> {
+        (0..self.direct.len())
             .map(|i| {
                 self.direct[i]
                     .iter()
-                    .cloned()
-                    .chain(self.ribs[i].iter().flatten().cloned())
+                    .chain(self.ribs[i].iter().flatten())
+                    .copied()
                     .collect()
             })
-            .collect();
+            .collect()
+    }
+
+    /// Snapshot the converged state into a [`RoutingOutcome`].
+    fn snapshot(self, detail: SnapshotDetail) -> RoutingOutcome {
+        let (candidates, paths) = match detail {
+            SnapshotDetail::Catchments => (None, PathStore::default()),
+            SnapshotDetail::Full => (Some(self.capture_candidates()), self.arena.store()),
+        };
         RoutingOutcome {
             best: self.best,
             candidates,
+            paths,
             events: self.events,
             rounds: self.max_depth,
             changes: self.changes,
@@ -626,20 +864,18 @@ impl<'e, 't> Simulation<'e, 't> {
     }
 
     /// Non-consuming snapshot: the simulation stays alive for further
-    /// epochs (the [`CampaignSession`] path).
-    fn snapshot_cloned(&self) -> RoutingOutcome {
-        let candidates = (0..self.direct.len())
-            .map(|i| {
-                self.direct[i]
-                    .iter()
-                    .cloned()
-                    .chain(self.ribs[i].iter().flatten().cloned())
-                    .collect()
-            })
-            .collect();
+    /// epochs (the [`CampaignSession`] path). At the default
+    /// [`SnapshotDetail::Catchments`] this copies only the `best` vector
+    /// and the epoch's change log.
+    fn snapshot_cloned(&self, detail: SnapshotDetail) -> RoutingOutcome {
+        let (candidates, paths) = match detail {
+            SnapshotDetail::Catchments => (None, PathStore::default()),
+            SnapshotDetail::Full => (Some(self.capture_candidates()), self.arena.store()),
+        };
         RoutingOutcome {
             best: self.best.clone(),
             candidates,
+            paths,
             events: self.events,
             rounds: self.max_depth,
             changes: self.changes.clone(),
@@ -651,8 +887,48 @@ impl<'e, 't> Simulation<'e, 't> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::community::CommunitySet;
     use crate::origin::OriginAs;
     use trackdown_topology::{topology_from_links, Asn, LinkKind};
+
+    /// Arena-independent identity of a route: everything that defines it,
+    /// with the interned path materialized. Route ids are only canonical
+    /// within one arena, so cross-simulation comparisons go through this.
+    type RouteKey = (
+        AsPath,
+        LinkId,
+        Option<AsIndex>,
+        u32,
+        NeighborKind,
+        crate::community::CommunityBits,
+    );
+
+    fn route_key(out: &RoutingOutcome, r: &Route) -> RouteKey {
+        (
+            out.path_of(r),
+            r.ingress,
+            r.from_neighbor,
+            r.local_pref,
+            r.learned_from,
+            r.communities,
+        )
+    }
+
+    /// Materialized best routes (requires a Full-detail outcome).
+    fn best_keys(out: &RoutingOutcome) -> Vec<Option<RouteKey>> {
+        out.best
+            .iter()
+            .map(|b| b.as_ref().map(|r| route_key(out, r)))
+            .collect()
+    }
+
+    /// Materialized candidate RIBs (requires a Full-detail outcome).
+    fn candidate_keys(out: &RoutingOutcome) -> Vec<Vec<RouteKey>> {
+        out.candidates()
+            .iter()
+            .map(|cands| cands.iter().map(|r| route_key(out, r)).collect())
+            .collect()
+    }
 
     /// Textbook policies, no noise.
     fn clean_config() -> EngineConfig {
@@ -1014,13 +1290,15 @@ mod tests {
             .collect();
         // Deterministic path-vector fixpoints: the warm-start transition
         // must land on exactly the cold-start state of the new config.
-        let cold = engine.propagate_config(&origin, &subset, 200).unwrap();
+        let cold = engine
+            .propagate_config_detailed(&origin, &subset, 200, SnapshotDetail::Full)
+            .unwrap();
         let warm = engine
-            .transition_config(&origin, &all, &subset, 200)
+            .transition_config_detailed(&origin, &all, &subset, 200, SnapshotDetail::Full)
             .unwrap();
         assert!(warm.converged);
-        assert_eq!(warm.best, cold.best);
-        assert_eq!(warm.candidates, cold.candidates);
+        assert_eq!(best_keys(&warm), best_keys(&cold));
+        assert_eq!(candidate_keys(&warm), candidate_keys(&cold));
     }
 
     #[test]
@@ -1035,16 +1313,20 @@ mod tests {
             .filter(|l| l.0 != 1)
             .map(LinkAnnouncement::plain)
             .collect();
-        let before = engine.propagate_config(&origin, &all, 200).unwrap();
+        let before = engine
+            .propagate_config_detailed(&origin, &all, 200, SnapshotDetail::Full)
+            .unwrap();
         let warm = engine
-            .transition_config(&origin, &all, &subset, 200)
+            .transition_config_detailed(&origin, &all, &subset, 200, SnapshotDetail::Full)
             .unwrap();
         // Every AS whose final route differs appears in the change log;
         // ASes that kept their route emit nothing.
         let changed: std::collections::HashSet<AsIndex> =
             warm.changes.iter().map(|c| c.at).collect();
+        let before_keys = best_keys(&before);
+        let warm_keys = best_keys(&warm);
         for i in g.topology.indices() {
-            let moved = before.best[i.us()] != warm.best[i.us()];
+            let moved = before_keys[i.us()] != warm_keys[i.us()];
             if moved {
                 assert!(changed.contains(&i), "moved AS {i:?} missing from log");
             }
@@ -1131,17 +1413,27 @@ mod tests {
         let configs = [all.clone(), subset, prepended, all];
         let mut session = engine.session();
         for (k, anns) in configs.iter().enumerate() {
-            let warm = session.deploy_config(&origin, anns, 200).unwrap();
-            let cold = engine.propagate_config(&origin, anns, 200).unwrap();
-            assert_eq!(warm.best, cold.best, "config {k}: best routes differ");
+            let warm = session
+                .deploy_config_detailed(&origin, anns, 200, SnapshotDetail::Full)
+                .unwrap();
+            let cold = engine
+                .propagate_config_detailed(&origin, anns, 200, SnapshotDetail::Full)
+                .unwrap();
             assert_eq!(
-                warm.candidates, cold.candidates,
+                best_keys(&warm),
+                best_keys(&cold),
+                "config {k}: best routes differ"
+            );
+            assert_eq!(
+                candidate_keys(&warm),
+                candidate_keys(&cold),
                 "config {k}: candidate sets differ"
             );
             assert_eq!(warm.converged, cold.converged);
         }
         assert_eq!(session.deployments(), configs.len());
         assert_eq!(session.cold_restarts(), 0);
+        assert!(session.peak_arena_nodes() > 0);
     }
 
     #[test]
@@ -1210,20 +1502,42 @@ mod tests {
         let topo = fig2_topology();
         let engine = BgpEngine::new(&topo, &clean_config());
         let o = origin_xny();
-        let out = engine.propagate_config(&o, &all_plain(&o), 200).unwrap();
+        let out = engine
+            .propagate_config_detailed(&o, &all_plain(&o), 200, SnapshotDetail::Full)
+            .unwrap();
         // u hears the route from its peer n and its provider t2: 2 candidates.
         let iu = topo.index_of(Asn(12)).unwrap();
         assert!(
-            out.candidates[iu.us()].len() >= 2,
+            out.candidates()[iu.us()].len() >= 2,
             "u should have at least 2 candidate routes, got {}",
-            out.candidates[iu.us()].len()
+            out.candidates()[iu.us()].len()
         );
         // The best route is always among the candidates.
         for i in topo.indices() {
             if let Some(b) = &out.best[i.us()] {
-                assert!(out.candidates[i.us()].contains(b));
+                assert!(out.candidates()[i.us()].contains(b));
             }
         }
+    }
+
+    #[test]
+    fn catchments_detail_skips_candidates_and_paths() {
+        let topo = fig2_topology();
+        let engine = BgpEngine::new(&topo, &clean_config());
+        let o = origin_xny();
+        let out = engine.propagate_config(&o, &all_plain(&o), 200).unwrap();
+        assert!(!out.has_candidates());
+        assert!(out.paths.is_empty());
+        // Catchments, forwarding walks, and change logs still work.
+        assert_eq!(out.reachable_count(), topo.num_ases());
+        assert!(out.forwarding_walk(AsIndex(0)).is_some());
+        // The full-detail snapshot of the same run agrees on catchments.
+        let full = engine
+            .propagate_config_detailed(&o, &all_plain(&o), 200, SnapshotDetail::Full)
+            .unwrap();
+        assert_eq!(out.control_catchments(), full.control_catchments());
+        assert!(full.has_candidates());
+        assert!(!full.paths.is_empty());
     }
 
     #[test]
@@ -1233,13 +1547,15 @@ mod tests {
         let topo = fig2_topology();
         let engine = BgpEngine::new(&topo, &clean_config());
         let o = origin_xny();
-        let out = engine.propagate_config(&o, &all_plain(&o), 200).unwrap();
+        let out = engine
+            .propagate_config_detailed(&o, &all_plain(&o), 200, SnapshotDetail::Full)
+            .unwrap();
         for i in topo.indices() {
             if let Some(r) = &out.best[i.us()] {
                 // Reconstruct relationships along the distinct path,
                 // ignoring the origin (not in topology).
-                let hops: Vec<AsIndex> = r
-                    .path
+                let path = out.path_of(r);
+                let hops: Vec<AsIndex> = path
                     .distinct()
                     .into_iter()
                     .filter_map(|a| topo.index_of(a))
@@ -1259,11 +1575,11 @@ mod tests {
                     match rel {
                         NeighborKind::Customer => ascending = false, // down
                         NeighborKind::Peer => {
-                            assert!(ascending, "peer edge after descent in {:?}", r.path);
+                            assert!(ascending, "peer edge after descent in {path:?}");
                             ascending = false;
                         }
                         NeighborKind::Provider => {
-                            assert!(ascending, "valley in path {:?}", r.path);
+                            assert!(ascending, "valley in path {path:?}");
                         }
                     }
                 }

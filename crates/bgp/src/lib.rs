@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod catchment;
 pub mod community;
 pub mod engine;
@@ -39,10 +40,12 @@ pub mod origin;
 pub mod policy;
 pub mod route;
 
+pub use arena::{PathArena, PathId, PathStore};
 pub use catchment::Catchments;
-pub use community::{Community, CommunitySet};
+pub use community::{Community, CommunityBits, CommunitySet};
 pub use engine::{
-    BgpEngine, CampaignSession, EngineConfig, ForwardingPath, RouteChange, RoutingOutcome,
+    BgpEngine, CampaignSession, EngineConfig, ForwardingPath, ForwardingWalker, RouteChange,
+    RoutingOutcome, SnapshotDetail,
 };
 pub use origin::{Injection, LinkAnnouncement, OriginAs, OriginError, PeeringLink};
 pub use policy::{ComplianceFlags, PolicyConfig, PolicyTable};
@@ -128,9 +131,11 @@ mod proptests {
             };
             let engine = BgpEngine::new(&g.topology, &cfg);
             let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
-            let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+            let out = engine
+                .propagate_config_detailed(&origin, &anns, 200, SnapshotDetail::Full)
+                .unwrap();
             for b in out.best.iter().flatten() {
-                prop_assert_eq!(b.path.origin(), Some(origin.asn));
+                prop_assert_eq!(out.path_of(b).origin(), Some(origin.asn));
             }
         }
 
@@ -246,17 +251,20 @@ mod proptests {
                         }
                     })
                     .collect();
-                let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+                let out = engine
+                    .propagate_config_detailed(&origin, &anns, 200, SnapshotDetail::Full)
+                    .unwrap();
                 let ti = g.topology.index_of(t.1).unwrap();
                 // The poisoned AS's own best route never carries the poison.
                 if let Some(r) = &out.best[ti.us()] {
-                    prop_assert!(!r.path.poisons_of(origin.asn).contains(&t.1));
+                    prop_assert!(!out.path_of(r).poisons_of(origin.asn).contains(&t.1));
                 }
                 // And no AS's best path transits the poisoned AS on the
                 // poisoned link (it could not have exported it).
                 for b in out.best.iter().flatten() {
                     if b.ingress == t.0 && b.from_neighbor.is_some() {
-                        let through: Vec<_> = b.path.distinct();
+                        let path = out.path_of(b);
+                        let through: Vec<_> = path.distinct();
                         let poisoned_hop = through.contains(&t.1);
                         // The sandwich itself contains the poison ASN, so
                         // only count it when the poisoned AS appears as a
@@ -264,7 +272,7 @@ mod proptests {
                         // occurrence outside the sandwich).
                         if poisoned_hop {
                             prop_assert!(
-                                b.path.poisons_of(origin.asn).contains(&t.1),
+                                path.poisons_of(origin.asn).contains(&t.1),
                                 "AS path transits poisoned {} on link {}",
                                 t.1,
                                 t.0

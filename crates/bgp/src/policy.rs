@@ -11,7 +11,7 @@
 //!   routes whose AS-path contains another tier-1, as those normally
 //!   indicate a route leak.
 
-use crate::route::Route;
+use crate::route::{LinkId, Route};
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -167,9 +167,27 @@ impl PolicyTable {
         from: Option<AsIndex>,
         path: &AsPath,
     ) -> bool {
+        self.accepts_iter(topo, at, from, path.as_slice().iter().copied())
+    }
+
+    /// [`PolicyTable::accepts`] over any path iterator — the engine's
+    /// allocation-free form: the offered path is a virtual
+    /// `prepends ⧺ arena walk` that never materializes a `Vec<Asn>`.
+    /// The iterator must yield most-recent-first (slice order); `Clone`
+    /// lets the two predicates each scan from the start.
+    pub fn accepts_iter<I>(
+        &self,
+        topo: &Topology,
+        at: AsIndex,
+        from: Option<AsIndex>,
+        path: I,
+    ) -> bool
+    where
+        I: Iterator<Item = Asn> + Clone,
+    {
         let own = topo.asn_of(at);
         // BGP loop prevention — the mechanism poisoning exploits.
-        if path.contains(own) && !self.ignores_loop_prevention(at) {
+        if !self.ignores_loop_prevention(at) && path.clone().any(|a| a == own) {
             return false;
         }
         // Tier-1 route-leak filter: drop customer-learned routes whose path
@@ -179,13 +197,11 @@ impl PolicyTable {
                 Some(f) => topo.relationship(at, f) == Some(NeighborKind::Customer),
                 None => true, // origin is a (virtual) customer of its provider
             };
-            if from_customer
-                && path
-                    .as_slice()
-                    .iter()
-                    .any(|a| *a != own && self.tier1_asns.contains(a))
-            {
-                return false;
+            if from_customer {
+                let mut path = path;
+                if path.any(|a| a != own && self.tier1_asns.contains(&a)) {
+                    return false;
+                }
             }
         }
         true
@@ -194,12 +210,24 @@ impl PolicyTable {
     /// Deterministic final tiebreak value for a candidate route at AS `at`:
     /// lower wins. Salting per AS stands in for IGP distances and router
     /// ids, so different ASes break identical ties differently (this is
-    /// what AS-path prepending manipulates around).
-    pub fn tiebreak(&self, at: AsIndex, route: &Route) -> u64 {
-        let nid = route.from_neighbor.map(|n| n.0 as u64 + 1).unwrap_or(0);
+    /// what AS-path prepending manipulates around). Exposed key-wise (not
+    /// just via [`PolicyTable::tiebreak`]) so reference implementations
+    /// that don't use [`Route`] can replicate the decision process.
+    pub fn tiebreak_key(
+        &self,
+        at: AsIndex,
+        from_neighbor: Option<AsIndex>,
+        ingress: LinkId,
+    ) -> u64 {
+        let nid = from_neighbor.map(|n| n.0 as u64 + 1).unwrap_or(0);
         // Include the ingress link so equal-length paths from the same
         // neighbor but different origin links order deterministically.
-        mix64(self.salts[at.us()] ^ (nid << 8) ^ route.ingress.0 as u64)
+        mix64(self.salts[at.us()] ^ (nid << 8) ^ ingress.0 as u64)
+    }
+
+    /// [`PolicyTable::tiebreak_key`] of a candidate [`Route`].
+    pub fn tiebreak(&self, at: AsIndex, route: &Route) -> u64 {
+        self.tiebreak_key(at, route.from_neighbor, route.ingress)
     }
 }
 
@@ -353,27 +381,34 @@ mod tests {
     fn tiebreak_is_deterministic_and_as_dependent() {
         let (_, t) = table(0.0);
         let r = Route {
-            path: AsPath::from_origin(Asn(1)),
+            path_id: crate::arena::PathId::EMPTY,
+            path_len: 1,
             ingress: LinkId(0),
             from_neighbor: Some(AsIndex(4)),
             local_pref: 300,
             learned_from: NeighborKind::Customer,
-            communities: crate::community::CommunitySet::empty(),
+            communities: crate::community::CommunityBits::EMPTY,
         };
         assert_eq!(t.tiebreak(AsIndex(0), &r), t.tiebreak(AsIndex(0), &r));
+        // The tiebreak depends only on (at, from_neighbor, ingress).
+        assert_eq!(
+            t.tiebreak(AsIndex(0), &r),
+            t.tiebreak_key(AsIndex(0), Some(AsIndex(4)), LinkId(0))
+        );
         // Salts should make at least some pair of ASes disagree.
         assert_ne!(t.tiebreak(AsIndex(0), &r), t.tiebreak(AsIndex(1), &r));
     }
 
     #[test]
     fn compliance_classification() {
-        let mk = |kind, len: usize| Route {
-            path: AsPath::from_origin(Asn(1)).prepended_by_times(Asn(2), len.saturating_sub(1)),
+        let mk = |kind, len: u32| Route {
+            path_id: crate::arena::PathId::EMPTY,
+            path_len: len,
             ingress: LinkId(0),
             from_neighbor: Some(AsIndex(1)),
             local_pref: 0,
             learned_from: kind,
-            communities: crate::community::CommunitySet::empty(),
+            communities: crate::community::CommunityBits::EMPTY,
         };
         let cust_short = mk(NeighborKind::Customer, 2);
         let cust_long = mk(NeighborKind::Customer, 5);

@@ -1,9 +1,10 @@
 //! Routes, prefixes, and peering-link identifiers.
 
-use crate::community::CommunitySet;
+use crate::arena::PathId;
+use crate::community::CommunityBits;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use trackdown_topology::{AsIndex, AsPath, NeighborKind};
+use trackdown_topology::{AsIndex, NeighborKind};
 
 /// An IPv4 prefix in CIDR form, used both as the announced experiment
 /// prefix and by the traffic substrate for address-level plumbing.
@@ -103,11 +104,21 @@ impl fmt::Display for LinkId {
 }
 
 /// A route installed in some AS's RIB for the experiment prefix.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Routes are small `Copy` handles: the AS-path lives in the engine's
+/// [`crate::PathArena`] and is referenced by `path_id`. Within one
+/// propagation state the interning is canonical (equal path content ⟺
+/// equal id), so derived `PartialEq` is exact content equality. Ids are
+/// *not* comparable across engines or sessions — materialize via
+/// [`crate::RoutingOutcome::path_of`] first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Route {
-    /// AS-path exactly as received (origin-last; includes any prepending
-    /// and poison sandwiches, but not the local AS).
-    pub path: AsPath,
+    /// Interned AS-path exactly as received (origin-last; includes any
+    /// prepending and poison sandwiches, but not the local AS).
+    pub path_id: PathId,
+    /// Hop count of `path_id` (counting prepend repetitions), cached on
+    /// the route so BGP's length tiebreak never walks the arena.
+    pub path_len: u32,
     /// Which origin peering link this route entered the Internet through.
     /// This tag rides along with the announcement; the set of ASes whose
     /// best route carries tag `l` is link `l`'s control-plane catchment.
@@ -124,20 +135,20 @@ pub struct Route {
     /// Action communities attached by the origin. Only set on direct
     /// routes (`from_neighbor == None`); the PoP provider honors them on
     /// export and strips them (first-hop semantics).
-    pub communities: CommunitySet,
+    pub communities: CommunityBits,
 }
 
 impl Route {
     /// AS-path length used by BGP's tiebreak (hop count as received).
     pub fn path_len(&self) -> usize {
-        self.path.len()
+        self.path_len as usize
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trackdown_topology::Asn;
+    use trackdown_topology::{AsPath, Asn};
 
     #[test]
     fn prefix_contains_and_addr() {
@@ -176,13 +187,16 @@ mod tests {
 
     #[test]
     fn route_path_len_counts_prepends() {
+        let mut arena = crate::arena::PathArena::new();
+        let id = arena.intern_path(&AsPath::from_origin(Asn(1)).prepended_by_times(Asn(1), 4));
         let r = Route {
-            path: AsPath::from_origin(Asn(1)).prepended_by_times(Asn(1), 4),
+            path_id: id,
+            path_len: arena.len(id) as u32,
             ingress: LinkId(0),
             from_neighbor: None,
             local_pref: 300,
             learned_from: NeighborKind::Customer,
-            communities: CommunitySet::empty(),
+            communities: CommunityBits::EMPTY,
         };
         assert_eq!(r.path_len(), 5);
     }

@@ -15,6 +15,7 @@
 use std::collections::BTreeSet;
 use std::fs;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use trackdown_core::dataset::Dataset;
 use trackdown_core::hijack::all_impacts;
 use trackdown_core::localize::Campaign;
@@ -23,6 +24,40 @@ use trackdown_core::Clustering;
 use trackdown_experiments::{report_stats, Options, Scale, Scenario};
 use trackdown_topology::serfmt::{to_as_rel, to_dot};
 use trackdown_topology::Asn;
+
+/// Allocation-counting wrapper around the system allocator, used by
+/// `bench-snapshot` to report heap allocations per warm epoch. Counting
+/// lives in this binary only; the library crates stay allocator-agnostic.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `std::alloc::System` unchanged;
+// the counter is a relaxed atomic with no allocation of its own.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations since process start (monotone; relaxed ordering is
+/// enough for the single-threaded bench sections that read it).
+fn allocations() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -332,6 +367,16 @@ struct BenchSnapshot {
     memo_hits: u64,
     cold_restarts: u64,
     mean_cluster_size: f64,
+    /// High-water node count of the interned path arena (max over workers).
+    peak_arena_nodes: u64,
+    /// Heap allocations per epoch during one timed warm campaign, counted
+    /// by this binary's global allocator. Covers the whole campaign loop
+    /// (snapshots, records), not just the propagation core.
+    allocs_per_epoch: f64,
+    /// Memo hits over a doubled schedule — the seed-7 schedule itself has
+    /// no duplicate configs, so `memo_hits` above is legitimately zero;
+    /// this pass proves the memo path still fires.
+    memo_exercise_hits: u64,
 }
 
 fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
@@ -388,8 +433,37 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
         return Err("warm/cold campaigns diverged; bench snapshot aborted".into());
     }
 
+    // Allocation census: one dedicated warm pass with the counter read
+    // around it. Counts are deterministic enough per-run that best-of-N
+    // would be redundant.
+    let allocs_before = allocations();
+    let (_, _) = run(CampaignMode::Warm);
+    let allocs_warm = allocations() - allocs_before;
+    let allocs_per_epoch = ((allocs_warm as f64 / warm.configs.len() as f64) * 1e2).round() / 1e2;
+
+    // Memo exercise: every config in the second half of a doubled schedule
+    // must hit the footprint memo.
+    let mut doubled = schedule.clone();
+    doubled.extend(schedule.iter().cloned());
+    let memo_run = run_campaign_mode(
+        &engine,
+        &scenario.origin,
+        &doubled,
+        CatchmentSource::ControlPlane,
+        None,
+        scenario.engine_cfg.max_events_factor,
+        CampaignMode::Warm,
+    );
+    if memo_run.stats.memo_hits != schedule.len() {
+        return Err(format!(
+            "memo exercise expected {} hits, got {}; bench snapshot aborted",
+            schedule.len(),
+            memo_run.stats.memo_hits
+        ));
+    }
+
     let snap = BenchSnapshot {
-        schema: 1,
+        schema: 2,
         bench: "pipeline".into(),
         scale: "small".into(),
         seed: 7,
@@ -402,6 +476,9 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
         memo_hits: warm.stats.memo_hits as u64,
         cold_restarts: warm.stats.cold_restarts as u64,
         mean_cluster_size: warm.clustering.mean_size(),
+        peak_arena_nodes: warm.stats.peak_arena_nodes as u64,
+        allocs_per_epoch,
+        memo_exercise_hits: memo_run.stats.memo_hits as u64,
     };
     let json = serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?;
     fs::write(out_path, json + "\n").map_err(|e| format!("write {out_path}: {e}"))?;

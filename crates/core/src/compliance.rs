@@ -28,7 +28,7 @@ pub fn config_compliance(outcome: &RoutingOutcome) -> ComplianceSample {
     let mut decided = 0usize;
     let mut best_rel = 0usize;
     let mut both = 0usize;
-    for (best, cands) in outcome.best.iter().zip(&outcome.candidates) {
+    for (best, cands) in outcome.best.iter().zip(outcome.candidates()) {
         let Some(best) = best else { continue };
         if cands.is_empty() {
             continue;
@@ -80,7 +80,9 @@ pub fn fraction_cdf(mut values: Vec<f64>) -> Vec<(f64, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trackdown_bgp::{BgpEngine, EngineConfig, LinkAnnouncement, OriginAs, PolicyConfig};
+    use trackdown_bgp::{
+        BgpEngine, EngineConfig, LinkAnnouncement, OriginAs, PolicyConfig, SnapshotDetail,
+    };
     use trackdown_topology::gen::{generate, TopologyConfig};
 
     fn run(violators: f64) -> ComplianceSample {
@@ -97,7 +99,9 @@ mod tests {
         };
         let engine = BgpEngine::new(&g.topology, &cfg);
         let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
-        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        let out = engine
+            .propagate_config_detailed(&origin, &anns, 200, SnapshotDetail::Full)
+            .unwrap();
         config_compliance(&out)
     }
 

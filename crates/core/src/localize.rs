@@ -7,7 +7,7 @@ use crate::config::AnnouncementConfig;
 use crate::schedule::warm_start_order;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use trackdown_bgp::{BgpEngine, Catchments, LinkId, OriginAs, RoutingOutcome};
+use trackdown_bgp::{BgpEngine, Catchments, LinkId, OriginAs, RoutingOutcome, SnapshotDetail};
 use trackdown_measure::{
     analysis_set, impute_visibility, ImputationStats, MeasuredCatchments, MeasurementPlane,
 };
@@ -61,6 +61,9 @@ pub struct CampaignStats {
     pub cold_restarts: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// High-water node count of the interned path arena (max over
+    /// workers): the steady-state memory footprint of warm reuse.
+    pub peak_arena_nodes: usize,
 }
 
 impl Default for CampaignStats {
@@ -71,6 +74,7 @@ impl Default for CampaignStats {
             memo_hits: 0,
             cold_restarts: 0,
             threads: 1,
+            peak_arena_nodes: 0,
         }
     }
 }
@@ -284,13 +288,25 @@ pub fn run_campaign_recorded(
             }
         }
         let timer = recorder.and_then(|r| r.start_timer());
+        // Only measured campaigns read path contents (BGP feed collection);
+        // everything else gets the cheap Catchments-detail snapshot.
+        let detail = match source {
+            CatchmentSource::Measured => SnapshotDetail::Full,
+            _ => SnapshotDetail::Catchments,
+        };
         let outcome = match mode {
-            CampaignMode::Warm => {
-                session.deploy_config(origin, &cfg.to_link_announcements(), max_events_factor)
-            }
-            CampaignMode::Cold => {
-                engine.propagate_config(origin, &cfg.to_link_announcements(), max_events_factor)
-            }
+            CampaignMode::Warm => session.deploy_config_detailed(
+                origin,
+                &cfg.to_link_announcements(),
+                max_events_factor,
+                detail,
+            ),
+            CampaignMode::Cold => engine.propagate_config_detailed(
+                origin,
+                &cfg.to_link_announcements(),
+                max_events_factor,
+                detail,
+            ),
         }
         .expect("validated configuration");
         if let Some(rec) = recorder {
@@ -324,6 +340,7 @@ pub fn run_campaign_recorded(
         }
     }
     stats.cold_restarts = session.cold_restarts();
+    stats.peak_arena_nodes = session.peak_arena_nodes();
     let converged: Vec<bool> = converged_by_k
         .into_iter()
         .map(|c| c.expect("every configuration deployed"))
@@ -530,11 +547,12 @@ pub fn run_campaign_parallel_recorded(
                     propagations,
                     memo_hits,
                     session.cold_restarts(),
+                    session.peak_arena_nodes(),
                 )
             }));
         }
         for h in handles {
-            let (base, local, propagations, memo_hits, cold_restarts) =
+            let (base, local, propagations, memo_hits, cold_restarts, peak_arena) =
                 h.join().expect("worker panicked");
             for (off, r) in local.into_iter().enumerate() {
                 results[base + off] = r;
@@ -542,6 +560,9 @@ pub fn run_campaign_parallel_recorded(
             stats.propagations += propagations;
             stats.memo_hits += memo_hits;
             stats.cold_restarts += cold_restarts;
+            // Per-worker arenas: the campaign's footprint is the largest
+            // single arena, not the sum.
+            stats.peak_arena_nodes = stats.peak_arena_nodes.max(peak_arena);
         }
     });
     let mut catchments = Vec::with_capacity(configs.len());

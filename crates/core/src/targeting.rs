@@ -43,8 +43,9 @@ fn shared_transits(
 ) -> Vec<(AsIndex, usize)> {
     let provider_asns: Vec<Asn> = origin.links.iter().map(|l| l.provider).collect();
     let mut counts: HashMap<AsIndex, usize> = HashMap::new();
+    let mut walker = trackdown_bgp::ForwardingWalker::new();
     for &m in members {
-        let Some(walk) = outcome.forwarding_walk(m) else {
+        let Some(walk) = walker.walk(outcome, m) else {
             continue;
         };
         for &hop in &walk.hops {

@@ -3,6 +3,7 @@
 
 use crate::{phase_prefixes, phase_summary, print_series, Scenario};
 use std::collections::BTreeMap;
+use trackdown_bgp::SnapshotDetail;
 use trackdown_core::cluster::Clustering;
 use trackdown_core::compliance::{config_compliance, fraction_cdf};
 use trackdown_core::distance::cluster_size_by_distance;
@@ -432,10 +433,11 @@ pub fn fig9(scenario: &Scenario) -> String {
     let mut both = Vec::with_capacity(schedule.len());
     for cfg in &schedule {
         let outcome = engine
-            .propagate_config(
+            .propagate_config_detailed(
                 &scenario.origin,
                 &cfg.to_link_announcements(),
                 scenario.engine_cfg.max_events_factor,
+                SnapshotDetail::Full,
             )
             .expect("valid configuration");
         let sample = config_compliance(&outcome);

@@ -35,9 +35,10 @@ pub fn collect_bgp_feeds(
         .iter()
         .filter_map(|&f| {
             outcome.best[f.us()].as_ref().map(|r| {
-                let poisons = r.path.poisons_of(origin_asn);
+                let as_path = outcome.path_of(r);
+                let poisons = as_path.poisons_of(origin_asn);
                 let mut path = vec![topo.asn_of(f)];
-                for a in r.path.distinct() {
+                for a in as_path.distinct() {
                     if a != origin_asn && !poisons.contains(&a) {
                         path.push(a);
                     }

@@ -116,6 +116,7 @@ mod tests {
     use super::*;
     use trackdown_bgp::{
         BgpEngine, Catchments, EngineConfig, LinkAnnouncement, OriginAs, PolicyConfig,
+        SnapshotDetail,
     };
     use trackdown_topology::gen::{generate, TopologyConfig};
 
@@ -138,7 +139,9 @@ mod tests {
         let origin = OriginAs::peering_style(&g, 3);
         let engine = BgpEngine::new(&g.topology, &clean_engine_cfg());
         let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
-        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        let out = engine
+            .propagate_config_detailed(&origin, &anns, 200, SnapshotDetail::Full)
+            .unwrap();
         let plane = MeasurementPlane::new(&g.topology, &cones, &MeasurementConfig::perfect());
         let m = plane.measure(&g.topology, &out, origin.asn, 0);
         let truth = Catchments::from_control_plane(&out);
@@ -156,7 +159,9 @@ mod tests {
         let origin = OriginAs::peering_style(&g, 4);
         let engine = BgpEngine::new(&g.topology, &clean_engine_cfg());
         let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
-        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        let out = engine
+            .propagate_config_detailed(&origin, &anns, 200, SnapshotDetail::Full)
+            .unwrap();
         // Crank up the IP-to-AS dirtiness so the multi-catchment effect is
         // reliably visible at this small scale (default rates can
         // legitimately produce zero conflicts on short paths).
@@ -199,7 +204,9 @@ mod tests {
         let origin = OriginAs::peering_style(&g, 3);
         let engine = BgpEngine::new(&g.topology, &clean_engine_cfg());
         let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
-        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        let out = engine
+            .propagate_config_detailed(&origin, &anns, 200, SnapshotDetail::Full)
+            .unwrap();
         let plane = MeasurementPlane::new(&g.topology, &cones, &MeasurementConfig::default());
         let a = plane.measure(&g.topology, &out, origin.asn, 5);
         let b = plane.measure(&g.topology, &out, origin.asn, 5);
@@ -221,7 +228,9 @@ mod tests {
         let origin = OriginAs::peering_style(&g, 3);
         let engine = BgpEngine::new(&g.topology, &clean_engine_cfg());
         let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
-        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        let out = engine
+            .propagate_config_detailed(&origin, &anns, 200, SnapshotDetail::Full)
+            .unwrap();
         let mut cfg = MeasurementConfig {
             vantage: VantageConfig {
                 seed: 2,

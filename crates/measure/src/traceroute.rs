@@ -12,7 +12,7 @@ use crate::mapping::IpToAs;
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use trackdown_bgp::{LinkId, RoutingOutcome};
+use trackdown_bgp::{ForwardingWalker, LinkId, RoutingOutcome};
 use trackdown_topology::{AsIndex, Asn, Topology};
 
 /// Traceroute fault-injection parameters.
@@ -108,7 +108,33 @@ pub fn run_traceroute(
     cfg: &TracerouteConfig,
     config_salt: u64,
 ) -> Traceroute {
-    let walk = outcome.forwarding_walk(probe);
+    let mut walker = ForwardingWalker::new();
+    run_traceroute_with_walker(
+        topo,
+        db,
+        outcome,
+        probe,
+        round,
+        cfg,
+        config_salt,
+        &mut walker,
+    )
+}
+
+/// [`run_traceroute`] reusing a caller-owned [`ForwardingWalker`], so
+/// campaign loops pay for the visited buffer once instead of per probe.
+#[allow(clippy::too_many_arguments)]
+pub fn run_traceroute_with_walker(
+    topo: &Topology,
+    db: &IpToAs,
+    outcome: &RoutingOutcome,
+    probe: AsIndex,
+    round: usize,
+    cfg: &TracerouteConfig,
+    config_salt: u64,
+    walker: &mut ForwardingWalker,
+) -> Traceroute {
+    let walk = walker.walk(outcome, probe);
     let (true_hops, reached) = match walk {
         Some(w) => (w.hops, Some(w.link)),
         None => (vec![probe], None),
@@ -162,9 +188,10 @@ pub fn run_campaign(
     config_salt: u64,
 ) -> Vec<Traceroute> {
     let mut out = Vec::with_capacity(probes.len() * cfg.rounds);
+    let mut walker = ForwardingWalker::new();
     for &p in probes {
         for round in 0..cfg.rounds {
-            out.push(run_traceroute(
+            out.push(run_traceroute_with_walker(
                 topo,
                 db,
                 outcome,
@@ -172,6 +199,7 @@ pub fn run_campaign(
                 round,
                 cfg,
                 config_salt,
+                &mut walker,
             ));
         }
     }

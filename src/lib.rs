@@ -51,7 +51,7 @@ pub use trackdown_traffic as traffic;
 pub mod prelude {
     pub use trackdown_bgp::{
         BgpEngine, Catchments, Community, CommunitySet, EngineConfig, LinkAnnouncement, LinkId,
-        OriginAs, PolicyConfig, Prefix, RouteChange, RoutingOutcome,
+        OriginAs, PolicyConfig, Prefix, RouteChange, RoutingOutcome, SnapshotDetail,
     };
     pub use trackdown_core::generator::{full_schedule, GeneratorParams};
     pub use trackdown_core::localize::{

@@ -45,13 +45,18 @@ fn poison_immune_ases_keep_their_routes() {
             })
             .collect();
         let base = normal.propagate_config(&origin, &baseline, 200).unwrap();
-        let poisoned = normal.propagate_config(&origin, &anns, 200).unwrap();
+        let poisoned = normal
+            .propagate_config_detailed(&origin, &anns, 200, SnapshotDetail::Full)
+            .unwrap();
         let ti = world.topology.index_of(t.target).unwrap();
         // In the normal world the poisoned AS must not use a route whose
         // path carries the poison (loop prevention dropped it).
         if let Some(r) = &poisoned.best[ti.us()] {
             assert!(
-                !r.path.poisons_of(origin.asn).contains(&t.target),
+                !poisoned
+                    .path_of(r)
+                    .poisons_of(origin.asn)
+                    .contains(&t.target),
                 "poisoned AS accepted its own poison"
             );
         }

@@ -135,7 +135,12 @@ fn compliance_fractions_are_high_and_ordered() {
     );
     for cfg in schedule.iter().take(10) {
         let out = engine
-            .propagate_config(&origin, &cfg.to_link_announcements(), 200)
+            .propagate_config_detailed(
+                &origin,
+                &cfg.to_link_announcements(),
+                200,
+                SnapshotDetail::Full,
+            )
             .unwrap();
         let s = trackdown_suite::core::compliance::config_compliance(&out);
         assert!(s.decided > 0);
