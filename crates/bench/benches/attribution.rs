@@ -1,0 +1,129 @@
+//! Attribution-plane benchmarks: indexed/incremental suspect ranking,
+//! volume estimation, and cluster lookups vs the scan-based references
+//! they replaced, on a large synthetic partition (50k tracked sources —
+//! the scale the ROADMAP's production north star assumes, far beyond the
+//! 2k-AS simulated topologies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use trackdown_bgp::{Catchments, LinkId};
+use trackdown_core::localize::{
+    estimate_cluster_volumes, estimate_cluster_volumes_rescan, link_volume_matrix, rank_suspects,
+    rank_suspects_rescan, AttributionIndex, Campaign, CampaignStats,
+};
+use trackdown_topology::AsIndex;
+
+const SOURCES: usize = 50_000;
+const CONFIGS: usize = 24;
+const LINKS: usize = 8;
+const GROUPS: usize = 2_000;
+
+/// A campaign-shaped fixture over a synthetic partition: sources route in
+/// co-routed groups (the shape real campaigns converge to — ~2k clusters
+/// of ~25 sources), with a sprinkling of unobserved catchments, a handful
+/// of active attackers, and the honeypot volume matrix they induce.
+fn synthetic_campaign(seed: u64) -> (Campaign, Vec<Vec<u64>>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let group_of: Vec<usize> = (0..SOURCES).map(|_| rng.random_range(0..GROUPS)).collect();
+    let catchments: Vec<Catchments> = (0..CONFIGS)
+        .map(|_| {
+            let group_link: Vec<Option<LinkId>> = (0..GROUPS)
+                .map(|_| {
+                    if rng.random_range(0..16u32) == 0 {
+                        None
+                    } else {
+                        Some(LinkId(rng.random_range(0..LINKS as u8)))
+                    }
+                })
+                .collect();
+            let mut c = Catchments::unassigned(SOURCES);
+            for i in 0..SOURCES {
+                c.set(AsIndex(i as u32), group_link[group_of[i]]);
+            }
+            c
+        })
+        .collect();
+    let tracked: Vec<AsIndex> = (0..SOURCES as u32).map(AsIndex).collect();
+    let (clustering, attribution) = AttributionIndex::build(tracked.clone(), &catchments);
+    let campaign = Campaign {
+        configs: Vec::new(),
+        catchments,
+        tracked,
+        clustering,
+        attribution,
+        records: Vec::new(),
+        imputation: None,
+        stats: CampaignStats::default(),
+    };
+    let mut volume_per_as = vec![0u64; SOURCES];
+    for (i, v) in [
+        (SOURCES / 7, 1_000_000),
+        (SOURCES / 2, 2_000_000),
+        (5 * SOURCES / 6, 3_000_000),
+    ] {
+        volume_per_as[i] = v;
+    }
+    let link_volumes = link_volume_matrix(&campaign, &volume_per_as, LINKS);
+    (campaign, link_volumes)
+}
+
+fn bench_attribution(c: &mut Criterion) {
+    let (campaign, vols) = synthetic_campaign(11);
+    // The two paths must agree before we time them.
+    assert_eq!(
+        rank_suspects(&campaign, &vols),
+        rank_suspects_rescan(&campaign, &vols)
+    );
+    assert_eq!(
+        estimate_cluster_volumes(&campaign, &vols, 10),
+        estimate_cluster_volumes_rescan(&campaign, &vols, 10)
+    );
+
+    let mut group = c.benchmark_group("attribution");
+    group.sample_size(10);
+    group.bench_function("rank_estimate/indexed_50k", |b| {
+        b.iter(|| {
+            let s = rank_suspects(black_box(&campaign), black_box(&vols));
+            let e = estimate_cluster_volumes(black_box(&campaign), black_box(&vols), 10);
+            black_box((s.len(), e.len()))
+        })
+    });
+    group.bench_function("rank_estimate/scan_50k", |b| {
+        b.iter(|| {
+            let s = rank_suspects_rescan(black_box(&campaign), black_box(&vols));
+            let e = estimate_cluster_volumes_rescan(black_box(&campaign), black_box(&vols), 10);
+            black_box((s.len(), e.len()))
+        })
+    });
+
+    // Per-source cluster-size lookups: the quadratic hot path the ISSUE
+    // names (distance curves, online reports call this per source). The
+    // scan arm runs on a 1/64 sample — at 50k sources the full scan sweep
+    // is ~5e9 operations per iteration.
+    let all: Vec<AsIndex> = campaign.tracked.clone();
+    let sample: Vec<AsIndex> = campaign.tracked.iter().copied().step_by(64).collect();
+    group.bench_function("cluster_size_of/indexed_50k_all", |b| {
+        b.iter(|| {
+            let total: usize = all
+                .iter()
+                .filter_map(|&s| campaign.clustering.cluster_size_of(s))
+                .sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("cluster_size_of/scan_50k_sample64", |b| {
+        b.iter(|| {
+            let total: usize = sample
+                .iter()
+                .filter_map(|&s| campaign.clustering.cluster_size_of_scan(s))
+                .sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attribution);
+criterion_main!(benches);

@@ -13,7 +13,7 @@ use trackdown_core::schedule::{greedy_schedule, mean_size_objective, random_sche
 use trackdown_topology::gen::{generate, TopologyConfig};
 use trackdown_topology::AsIndex;
 use trackdown_traffic::{
-    cumulative_volume_by_cluster_size, pareto_shape_80_20, place_sources, SourcePlacement,
+    cumulative_volume_by_cluster_slices, pareto_shape_80_20, place_sources, SourcePlacement,
     UdpPacket,
 };
 
@@ -188,7 +188,7 @@ fn bench_fig10_attribution(c: &mut Criterion) {
         None,
         200,
     );
-    let clusters = campaign.clustering.clusters();
+    let clustering = &campaign.clustering;
     let candidates: Vec<AsIndex> = campaign.tracked.clone();
     c.bench_function("fig10_placement_and_attribution", |b| {
         let mut seed = 0u64;
@@ -204,7 +204,10 @@ fn bench_fig10_attribution(c: &mut Criterion) {
                 seed,
             );
             let vols = placed.volume_per_as(1_000);
-            black_box(cumulative_volume_by_cluster_size(&clusters, &vols))
+            black_box(cumulative_volume_by_cluster_slices(
+                clustering.iter_clusters(),
+                &vols,
+            ))
         })
     });
 }

@@ -10,6 +10,9 @@
 //! * `measurement` — traceroute campaigns, hop repair, and the
 //!   per-configuration measure() pipeline;
 //! * `pipeline` — per-figure workloads (campaign behind Figures 3/4,
-//!   Figure 8 schedulers, Figure 10 attribution) and the packet codec.
+//!   Figure 8 schedulers, Figure 10 attribution) and the packet codec;
+//! * `attribution` — indexed/incremental suspect ranking, volume
+//!   estimation, and cluster lookups vs the scan-based references on a
+//!   50k-source synthetic partition.
 //!
 //! Run with `cargo bench --workspace`.

@@ -20,7 +20,6 @@ use trackdown_core::dataset::Dataset;
 use trackdown_core::hijack::all_impacts;
 use trackdown_core::localize::Campaign;
 use trackdown_core::report::render_table;
-use trackdown_core::Clustering;
 use trackdown_experiments::{report_stats, Options, Scale, Scenario};
 use trackdown_topology::serfmt::{to_as_rel, to_dot};
 use trackdown_topology::Asn;
@@ -250,12 +249,13 @@ fn cmd_localize(args: &Args) -> Result<(), String> {
         .map(|c| trackdown_traffic::volume_per_link(c, &per_as, num_links))
         .collect();
     // Rebuild a campaign view for the localization API.
-    let clustering: Clustering = ds.rebuild_clustering();
+    let (clustering, attribution) = ds.rebuild_attribution();
     let campaign = Campaign {
         configs: ds.configs.clone(),
         catchments: ds.catchments.clone(),
         tracked: ds.tracked.clone(),
         clustering,
+        attribution,
         records: Vec::new(),
         imputation: None,
         stats: trackdown_core::localize::CampaignStats::default(),
@@ -377,6 +377,124 @@ struct BenchSnapshot {
     /// no duplicate configs, so `memo_hits` above is legitimately zero;
     /// this pass proves the memo path still fires.
     memo_exercise_hits: u64,
+    /// Tracked sources in the synthetic attribution workload (schema 3).
+    attribution_sources: u64,
+    /// Configurations in the synthetic attribution workload.
+    attribution_configs: u64,
+    /// Indexed/incremental arm: rank + estimate + per-source cluster-size
+    /// lookups on the synthetic partition (best of 2, ms).
+    attribution_indexed_ms: f64,
+    /// Scan-based reference arm over the same workload and inputs.
+    attribution_scan_ms: f64,
+    /// `attribution_scan_ms / attribution_indexed_ms` — gated ≥ 5.0 in CI.
+    attribution_speedup: f64,
+}
+
+/// The schema-3 attribution workload: a 50k-source synthetic partition
+/// (deterministic LCG catchments, a few active attackers), timed through
+/// the indexed attribution plane and through the scan-based references it
+/// replaced. Both arms produce byte-identical suspect/estimate output —
+/// checked before timing — so the ratio is pure mechanism.
+fn bench_attribution_arms() -> Result<(u64, u64, f64, f64), String> {
+    use trackdown_core::localize::{
+        estimate_cluster_volumes, estimate_cluster_volumes_rescan, link_volume_matrix,
+        rank_suspects, rank_suspects_rescan, AttributionIndex, CampaignStats,
+    };
+    use trackdown_topology::AsIndex;
+
+    const SOURCES: usize = 50_000;
+    const CONFIGS: usize = 24;
+    const LINKS: u8 = 8;
+    const GROUPS: usize = 2_000;
+    // Deterministic LCG: same partition on every run.
+    let mut state = 0x853C_49E6_748F_EA9Bu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    // Sources route in co-routed groups (stubs sharing transit), the shape
+    // real campaigns converge to: the partition settles at ~GROUPS
+    // clusters of ~25 sources instead of 50k singletons.
+    let group_of: Vec<usize> = (0..SOURCES).map(|_| next() as usize % GROUPS).collect();
+    let catchments: Vec<trackdown_bgp::Catchments> = (0..CONFIGS)
+        .map(|_| {
+            let group_link: Vec<Option<trackdown_bgp::LinkId>> = (0..GROUPS)
+                .map(|_| {
+                    let v = next();
+                    if v % 16 == 0 {
+                        None
+                    } else {
+                        Some(trackdown_bgp::LinkId((v % LINKS as u32) as u8))
+                    }
+                })
+                .collect();
+            let mut c = trackdown_bgp::Catchments::unassigned(SOURCES);
+            for i in 0..SOURCES {
+                c.set(AsIndex(i as u32), group_link[group_of[i]]);
+            }
+            c
+        })
+        .collect();
+    let tracked: Vec<AsIndex> = (0..SOURCES as u32).map(AsIndex).collect();
+    let (clustering, attribution) = AttributionIndex::build(tracked.clone(), &catchments);
+    let campaign = Campaign {
+        configs: Vec::new(),
+        catchments,
+        tracked,
+        clustering,
+        attribution,
+        records: Vec::new(),
+        imputation: None,
+        stats: CampaignStats::default(),
+    };
+    let mut volume_per_as = vec![0u64; SOURCES];
+    for (i, v) in [
+        (SOURCES / 7, 1_000_000u64),
+        (SOURCES / 2, 2_000_000),
+        (5 * SOURCES / 6, 3_000_000),
+    ] {
+        volume_per_as[i] = v;
+    }
+    let vols = link_volume_matrix(&campaign, &volume_per_as, LINKS as usize);
+    // Per-source size lookups on a 1/8 sample: the full scan sweep is
+    // ~5e9 operations and would dominate CI wall-clock for no signal.
+    let sample: Vec<AsIndex> = campaign.tracked.iter().copied().step_by(8).collect();
+
+    let run_indexed = || {
+        let s = rank_suspects(&campaign, &vols);
+        let e = estimate_cluster_volumes(&campaign, &vols, 10);
+        let sz: usize = sample
+            .iter()
+            .filter_map(|&a| campaign.clustering.cluster_size_of(a))
+            .sum();
+        (s, e, sz)
+    };
+    let run_scan = || {
+        let s = rank_suspects_rescan(&campaign, &vols);
+        let e = estimate_cluster_volumes_rescan(&campaign, &vols, 10);
+        let sz: usize = sample
+            .iter()
+            .filter_map(|&a| campaign.clustering.cluster_size_of_scan(a))
+            .sum();
+        (s, e, sz)
+    };
+    if run_indexed() != run_scan() {
+        return Err("indexed/scan attribution diverged; bench snapshot aborted".into());
+    }
+    let time_ms = |f: &dyn Fn() -> usize| {
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let t = std::time::Instant::now();
+            std::hint::black_box(f());
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let indexed_ms = time_ms(&|| run_indexed().2);
+    let scan_ms = time_ms(&|| run_scan().2);
+    Ok((SOURCES as u64, CONFIGS as u64, indexed_ms, scan_ms))
 }
 
 fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
@@ -462,8 +580,11 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
         ));
     }
 
+    let (attribution_sources, attribution_configs, attribution_indexed_ms, attribution_scan_ms) =
+        bench_attribution_arms()?;
+
     let snap = BenchSnapshot {
-        schema: 2,
+        schema: 3,
         bench: "pipeline".into(),
         scale: "small".into(),
         seed: 7,
@@ -479,12 +600,23 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
         peak_arena_nodes: warm.stats.peak_arena_nodes as u64,
         allocs_per_epoch,
         memo_exercise_hits: memo_run.stats.memo_hits as u64,
+        attribution_sources,
+        attribution_configs,
+        attribution_indexed_ms: (attribution_indexed_ms * 1e3).round() / 1e3,
+        attribution_scan_ms: (attribution_scan_ms * 1e3).round() / 1e3,
+        attribution_speedup: ((attribution_scan_ms / attribution_indexed_ms) * 1e3).round() / 1e3,
     };
     let json = serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?;
     fs::write(out_path, json + "\n").map_err(|e| format!("write {out_path}: {e}"))?;
     println!(
-        "wrote {out_path} (warm {:.1} ms, cold {:.1} ms, speedup {:.2}x)",
-        snap.warm_ms, snap.cold_ms, snap.speedup
+        "wrote {out_path} (warm {:.1} ms, cold {:.1} ms, speedup {:.2}x; \
+         attribution indexed {:.1} ms vs scan {:.1} ms, {:.1}x)",
+        snap.warm_ms,
+        snap.cold_ms,
+        snap.speedup,
+        snap.attribution_indexed_ms,
+        snap.attribution_scan_ms,
+        snap.attribution_speedup
     );
     Ok(())
 }

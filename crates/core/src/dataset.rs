@@ -132,11 +132,15 @@ impl Dataset {
     /// Rebuild the clustering from the stored catchments — the downstream
     /// analysis entry point.
     pub fn rebuild_clustering(&self) -> Clustering {
-        let mut clustering = Clustering::single(self.tracked.clone());
-        for c in &self.catchments {
-            clustering.refine(c);
-        }
-        clustering
+        self.rebuild_attribution().0
+    }
+
+    /// Rebuild the clustering *and* its attribution index (refinement
+    /// deltas, split log) from the stored catchments — what a [`Campaign`]
+    /// reassembled from a dataset needs for incremental suspect ranking
+    /// and volume estimation.
+    pub fn rebuild_attribution(&self) -> (Clustering, crate::localize::AttributionIndex) {
+        crate::localize::AttributionIndex::build(self.tracked.clone(), &self.catchments)
     }
 
     /// Number of distinct routes (catchment assignments) observed per

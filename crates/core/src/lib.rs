@@ -61,14 +61,15 @@ pub mod report;
 pub mod schedule;
 pub mod targeting;
 
-pub use cluster::{cluster_catchments, Clustering};
+pub use cluster::{cluster_catchments, ClusterSplit, Clustering, RefineDelta};
 pub use config::{AnnouncementConfig, ConfigError, Phase};
 pub use dataset::Dataset;
 pub use generator::{full_schedule, GeneratorParams};
 pub use localize::{
-    estimate_cluster_volumes, rank_suspects, run_campaign, run_campaign_mode,
-    run_campaign_parallel, run_campaign_parallel_mode, Campaign, CampaignMode, CampaignStats,
-    CatchmentSource, SuspectCluster, VolumeEstimate,
+    estimate_cluster_volumes, estimate_cluster_volumes_rescan, rank_suspects, rank_suspects_rescan,
+    run_campaign, run_campaign_mode, run_campaign_parallel, run_campaign_parallel_mode,
+    AttributionIndex, Campaign, CampaignMode, CampaignStats, CatchmentSource, SuspectCluster,
+    VolumeEstimate,
 };
 
 #[cfg(test)]

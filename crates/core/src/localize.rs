@@ -2,7 +2,7 @@
 //! catchments (true or measured), refine clusters, and correlate spoofed
 //! traffic volumes to rank suspect clusters.
 
-use crate::cluster::Clustering;
+use crate::cluster::{ClusterSplit, Clustering, RefineDelta};
 use crate::config::AnnouncementConfig;
 use crate::schedule::warm_start_order;
 use serde::{Deserialize, Serialize};
@@ -92,6 +92,116 @@ pub struct ConfigRecord {
     pub converged: bool,
 }
 
+/// The refinement history of a campaign, indexed for incremental
+/// attribution: one [`RefineDelta`] per configuration, recording how the
+/// partition evolved (old→new cluster mapping, per-cluster catchment
+/// link, split log).
+///
+/// This is what lets [`rank_suspects`], [`estimate_cluster_volumes`] and
+/// [`match_fraction_scores`] walk cluster *lineages* — inheriting each
+/// parent's accumulated volume bound across splits — instead of rescanning
+/// every catchment per final cluster the way the `*_rescan` references do.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributionIndex {
+    /// Clusters before the first refinement (1, or 0 when nothing is
+    /// tracked).
+    initial_clusters: u32,
+    /// One delta per configuration, in schedule order.
+    deltas: Vec<RefineDelta>,
+    /// `1 + max(link id)` over every catchment link a tracked cluster
+    /// landed on — the minimum width a per-configuration volume vector
+    /// must have for attribution to read it without fabricating zeros.
+    num_links: usize,
+}
+
+impl AttributionIndex {
+    /// Assemble an index from the deltas of a refinement run.
+    pub fn new(initial_clusters: u32, deltas: Vec<RefineDelta>) -> AttributionIndex {
+        let num_links = deltas
+            .iter()
+            .flat_map(|d| d.link_of.iter().flatten())
+            .map(|l| l.us() + 1)
+            .max()
+            .unwrap_or(0);
+        AttributionIndex {
+            initial_clusters,
+            deltas,
+            num_links,
+        }
+    }
+
+    /// Refine `tracked` over `catchments` in schedule order, returning the
+    /// final partition together with its attribution index — the
+    /// standalone analog of what campaign assembly does.
+    pub fn build(
+        tracked: Vec<AsIndex>,
+        catchments: &[Catchments],
+    ) -> (Clustering, AttributionIndex) {
+        let mut clustering = Clustering::single(tracked);
+        let initial = clustering.num_clusters() as u32;
+        let deltas = catchments
+            .iter()
+            .map(|cat| clustering.refine_logged(cat))
+            .collect();
+        (clustering, AttributionIndex::new(initial, deltas))
+    }
+
+    /// Number of configurations indexed.
+    pub fn num_configs(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Minimum width of a per-configuration link-volume vector: one entry
+    /// per link id up to the largest any tracked cluster was routed to.
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// Number of clusters after the final configuration.
+    pub fn final_num_clusters(&self) -> usize {
+        self.deltas
+            .last()
+            .map(|d| d.num_clusters())
+            .unwrap_or(self.initial_clusters as usize)
+    }
+
+    /// The full delta of configuration `k`.
+    pub fn delta(&self, k: usize) -> &RefineDelta {
+        &self.deltas[k]
+    }
+
+    /// The split log of configuration `k`: which clusters split, into
+    /// what.
+    pub fn split_log(&self, k: usize) -> &[ClusterSplit] {
+        &self.deltas[k].splits
+    }
+
+    /// Total number of splits across the whole campaign.
+    pub fn total_splits(&self) -> usize {
+        self.deltas.iter().map(|d| d.splits.len()).sum()
+    }
+
+    /// Reconstruct, for every *final* cluster, the catchment link it (that
+    /// is, its ancestor at the time) was routed to in each configuration —
+    /// by walking parent chains backward through the deltas. O(final
+    /// clusters × configurations), no catchment lookups.
+    pub fn final_links(&self) -> Vec<Vec<Option<LinkId>>> {
+        let kk = self.deltas.len();
+        let final_n = self.final_num_clusters();
+        let mut rows: Vec<Vec<Option<LinkId>>> = vec![vec![None; kk]; final_n];
+        let mut anc: Vec<u32> = (0..final_n as u32).collect();
+        for k in (0..kk).rev() {
+            let d = &self.deltas[k];
+            for (c, row) in rows.iter_mut().enumerate() {
+                let a = anc[c] as usize;
+                row[k] = d.link_of[a];
+                anc[c] = d.parent_of[a];
+            }
+        }
+        rows
+    }
+}
+
 /// The result of deploying a configuration schedule.
 #[derive(Debug, Clone)]
 pub struct Campaign {
@@ -104,6 +214,8 @@ pub struct Campaign {
     pub tracked: Vec<AsIndex>,
     /// Final clustering.
     pub clustering: Clustering,
+    /// Refinement history indexed for incremental attribution.
+    pub attribution: AttributionIndex,
     /// Per-configuration progress (Figure 4's series).
     pub records: Vec<ConfigRecord>,
     /// Visibility-imputation statistics (measured campaigns only).
@@ -165,9 +277,11 @@ fn assemble_campaign(
     trackdown_obs::counter!("campaign.memo_hits").add(stats.memo_hits as u64);
     trackdown_obs::counter!("campaign.cold_restarts").add(stats.cold_restarts as u64);
     let mut clustering = Clustering::single(tracked.clone());
+    let initial_clusters = clustering.num_clusters() as u32;
+    let mut deltas = Vec::with_capacity(configs.len());
     let mut records = Vec::with_capacity(configs.len());
     for (k, cat) in catchments.iter().enumerate() {
-        clustering.refine(cat);
+        deltas.push(clustering.refine_logged(cat));
         let cstats = clustering.stats();
         records.push(ConfigRecord {
             mean_cluster_size: clustering.mean_size(),
@@ -181,6 +295,7 @@ fn assemble_campaign(
         catchments,
         tracked,
         clustering,
+        attribution: AttributionIndex::new(initial_clusters, deltas),
         records,
         imputation,
         stats,
@@ -593,13 +708,102 @@ pub struct SuspectCluster {
     pub volume_upper_bound: u64,
 }
 
+/// Check the volume matrix against the campaign's shape: one row per
+/// configuration, each row wide enough to cover every link a tracked
+/// cluster was routed to. Short rows would otherwise read as zero volume
+/// and silently *exonerate* clusters on missing data.
+fn validate_link_volumes(campaign: &Campaign, link_volumes: &[Vec<u64>]) {
+    assert_eq!(
+        link_volumes.len(),
+        campaign.catchments.len(),
+        "one volume vector per configuration"
+    );
+    let need = campaign.attribution.num_links();
+    for (k, row) in link_volumes.iter().enumerate() {
+        assert!(
+            row.len() >= need,
+            "link_volumes[{k}] covers {} links but the campaign routed tracked \
+             clusters to links up to id {}; missing entries would read as zero \
+             volume and silently exonerate clusters",
+            row.len(),
+            need - 1
+        );
+    }
+}
+
 /// Correlate per-configuration, per-link spoofed volumes (honeypot
 /// reports) with the clustering to rank suspect clusters (§I's Figure 1
 /// narrative, generalized to simultaneous sources).
 ///
 /// `link_volumes[k][l]` = spoofed bytes on link `l` during configuration
 /// `k`. Requires the same configuration order as the campaign.
+///
+/// Bounds are maintained *incrementally* along the campaign's
+/// [`AttributionIndex`]: one forward pass over the refinement deltas, with
+/// each split's children inheriting the parent's accumulated min-bound
+/// (valid because a child's catchment history is its parent's history
+/// extended by one configuration). Output is identical to the from-scratch
+/// [`rank_suspects_rescan`] reference — proven by the differential suite —
+/// without materializing `clusters()` or scanning catchments per cluster.
+///
+/// # Panics
+/// If `link_volumes` does not have exactly one row per configuration, or
+/// any row is narrower than [`AttributionIndex::num_links`] — every link a
+/// tracked cluster landed on needs an entry (zero means "measured silent",
+/// absence is a caller bug; see the width contract in DESIGN.md).
 pub fn rank_suspects(campaign: &Campaign, link_volumes: &[Vec<u64>]) -> Vec<SuspectCluster> {
+    validate_link_volumes(campaign, link_volumes);
+    let idx = &campaign.attribution;
+    // Per-cluster state, re-keyed through every delta: the running
+    // min-bound and whether any silent link has exonerated the lineage.
+    let mut bound: Vec<u64> = vec![u64::MAX; idx.initial_clusters as usize];
+    let mut alive: Vec<bool> = vec![true; idx.initial_clusters as usize];
+    for (k, delta) in idx.deltas.iter().enumerate() {
+        let vols = &link_volumes[k];
+        let mut next_bound = Vec::with_capacity(delta.num_clusters());
+        let mut next_alive = Vec::with_capacity(delta.num_clusters());
+        for (c, &parent) in delta.parent_of.iter().enumerate() {
+            let mut b = bound[parent as usize];
+            let mut a = alive[parent as usize];
+            if let Some(link) = delta.link_of[c] {
+                let v = vols[link.us()];
+                if v == 0 {
+                    a = false; // a silent link exonerates the lineage
+                } else {
+                    b = b.min(v);
+                }
+            }
+            next_bound.push(b);
+            next_alive.push(a);
+        }
+        bound = next_bound;
+        alive = next_alive;
+    }
+    let mut out = Vec::new();
+    for c in 0..idx.final_num_clusters() {
+        // bound == MAX: never constrained, no evidence at all.
+        if !alive[c] || bound[c] == u64::MAX {
+            continue;
+        }
+        out.push(SuspectCluster {
+            cluster: c,
+            members: campaign.clustering.cluster_members(c as u32).to_vec(),
+            volume_upper_bound: bound[c],
+        });
+    }
+    out.sort_by(|a, b| {
+        b.volume_upper_bound
+            .cmp(&a.volume_upper_bound)
+            .then(a.cluster.cmp(&b.cluster))
+    });
+    out
+}
+
+/// The pre-index implementation of [`rank_suspects`]: materializes
+/// `clusters()` and rescans every catchment per cluster, reading absent
+/// volume entries as zero. Kept as the from-scratch reference the
+/// differential suite and the scan-vs-indexed benchmarks compare against.
+pub fn rank_suspects_rescan(campaign: &Campaign, link_volumes: &[Vec<u64>]) -> Vec<SuspectCluster> {
     assert_eq!(
         link_volumes.len(),
         campaign.catchments.len(),
@@ -668,7 +872,33 @@ pub struct VolumeEstimate {
 /// Soundness assumes the per-AS volumes are stable across configurations
 /// and every source is tracked; both hold for honeypot traffic from the
 /// campaign's tracked set.
+///
+/// The per-cluster link matrix comes from the campaign's
+/// [`AttributionIndex`] (ancestor chains walked backward through the
+/// refinement deltas) rather than per-cluster catchment rescans; output is
+/// identical to [`estimate_cluster_volumes_rescan`].
+///
+/// # Panics
+/// Same volume-matrix width contract as [`rank_suspects`].
 pub fn estimate_cluster_volumes(
+    campaign: &Campaign,
+    link_volumes: &[Vec<u64>],
+    max_rounds: usize,
+) -> Vec<VolumeEstimate> {
+    validate_link_volumes(campaign, link_volumes);
+    let num_links = campaign.attribution.num_links();
+    // Link of each cluster per configuration (None = unobserved),
+    // reconstructed from the refinement deltas.
+    let links = campaign.attribution.final_links();
+    let vol = |c: usize, l: LinkId| -> u64 { link_volumes[c][l.us()] };
+    estimate_from_links(campaign, link_volumes, max_rounds, num_links, &links, vol)
+}
+
+/// The pre-index implementation of [`estimate_cluster_volumes`]:
+/// materializes `clusters()`, rescans every catchment per cluster for the
+/// link matrix, and reads absent volume entries as zero. Kept as the
+/// from-scratch reference for the differential suite and benchmarks.
+pub fn estimate_cluster_volumes_rescan(
     campaign: &Campaign,
     link_volumes: &[Vec<u64>],
     max_rounds: usize,
@@ -688,6 +918,19 @@ pub fn estimate_cluster_volumes(
         })
         .collect();
     let vol = |c: usize, l: LinkId| -> u64 { link_volumes[c].get(l.us()).copied().unwrap_or(0) };
+    estimate_from_links(campaign, link_volumes, max_rounds, num_links, &links, vol)
+}
+
+/// Interval constraint propagation shared by the indexed and rescan
+/// estimators: everything after the per-cluster link matrix is obtained.
+fn estimate_from_links(
+    campaign: &Campaign,
+    link_volumes: &[Vec<u64>],
+    max_rounds: usize,
+    num_links: usize,
+    links: &[Vec<Option<LinkId>>],
+    vol: impl Fn(usize, LinkId) -> u64,
+) -> Vec<VolumeEstimate> {
     // Initial bounds.
     let mut upper: Vec<u64> = links
         .iter()
@@ -700,7 +943,7 @@ pub fn estimate_cluster_volumes(
                 .unwrap_or(0)
         })
         .collect();
-    let mut lower = vec![0u64; clusters.len()];
+    let mut lower = vec![0u64; links.len()];
     for _ in 0..max_rounds {
         let mut changed = false;
         for c in 0..link_volumes.len() {
@@ -736,7 +979,7 @@ pub fn estimate_cluster_volumes(
             }
         }
         // Keep intervals well-formed.
-        for k in 0..clusters.len() {
+        for k in 0..links.len() {
             if lower[k] > upper[k] {
                 lower[k] = upper[k];
             }
@@ -745,13 +988,11 @@ pub fn estimate_cluster_volumes(
             break;
         }
     }
-    let mut out: Vec<VolumeEstimate> = clusters
-        .into_iter()
-        .enumerate()
-        .filter(|(k, _)| upper[*k] > 0)
-        .map(|(k, members)| VolumeEstimate {
+    let mut out: Vec<VolumeEstimate> = (0..links.len())
+        .filter(|&k| upper[k] > 0)
+        .map(|k| VolumeEstimate {
             cluster: k,
-            members,
+            members: campaign.clustering.cluster_members(k as u32).to_vec(),
             lower: lower[k],
             upper: upper[k],
         })
@@ -776,7 +1017,60 @@ pub fn estimate_cluster_volumes(
 /// gracefully with routing churn.
 ///
 /// Returns `(cluster_index, members, match_fraction)` sorted descending.
+///
+/// Counters are maintained incrementally along the campaign's
+/// [`AttributionIndex`] (children inherit their parent's observed/matched
+/// counts at each split); output is identical to
+/// [`match_fraction_scores_rescan`].
+///
+/// # Panics
+/// Same volume-matrix width contract as [`rank_suspects`].
 pub fn match_fraction_scores(
+    campaign: &Campaign,
+    link_volumes: &[Vec<u64>],
+) -> Vec<(usize, Vec<AsIndex>, f64)> {
+    validate_link_volumes(campaign, link_volumes);
+    let idx = &campaign.attribution;
+    let mut observed: Vec<u32> = vec![0; idx.initial_clusters as usize];
+    let mut matched: Vec<u32> = vec![0; idx.initial_clusters as usize];
+    for (k, delta) in idx.deltas.iter().enumerate() {
+        let vols = &link_volumes[k];
+        let mut next_observed = Vec::with_capacity(delta.num_clusters());
+        let mut next_matched = Vec::with_capacity(delta.num_clusters());
+        for (c, &parent) in delta.parent_of.iter().enumerate() {
+            let mut o = observed[parent as usize];
+            let mut m = matched[parent as usize];
+            if let Some(link) = delta.link_of[c] {
+                o += 1;
+                if vols[link.us()] > 0 {
+                    m += 1;
+                }
+            }
+            next_observed.push(o);
+            next_matched.push(m);
+        }
+        observed = next_observed;
+        matched = next_matched;
+    }
+    let mut out = Vec::with_capacity(idx.final_num_clusters());
+    for c in 0..idx.final_num_clusters() {
+        if observed[c] == 0 {
+            continue;
+        }
+        out.push((
+            c,
+            campaign.clustering.cluster_members(c as u32).to_vec(),
+            matched[c] as f64 / observed[c] as f64,
+        ));
+    }
+    out.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("no NaN").then(a.0.cmp(&b.0)));
+    out
+}
+
+/// The pre-index implementation of [`match_fraction_scores`]: materializes
+/// `clusters()` and rescans every catchment per cluster. Kept as the
+/// from-scratch reference for the differential suite.
+pub fn match_fraction_scores_rescan(
     campaign: &Campaign,
     link_volumes: &[Vec<u64>],
 ) -> Vec<(usize, Vec<AsIndex>, f64)> {
@@ -1157,6 +1451,122 @@ mod tests {
         assert_eq!(stats.analysis_sources, campaign.tracked.len());
         assert!(!campaign.tracked.is_empty());
         assert!(campaign.clustering.num_clusters() > 1);
+    }
+
+    /// Inline differential: the indexed attribution functions agree with
+    /// their rescan references on a real campaign with several attackers.
+    /// (The heavy proptest version lives in tests/attribution_differential.)
+    #[test]
+    fn indexed_attribution_matches_rescan_references() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 2,
+                max_poison_configs: Some(10),
+            },
+        );
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        let mut volume = vec![0u64; g.topology.num_ases()];
+        for (i, s) in campaign.tracked.iter().step_by(7).enumerate() {
+            volume[s.us()] = 10_000 * (i as u64 + 1);
+        }
+        let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+        assert_eq!(
+            rank_suspects(&campaign, &vols),
+            rank_suspects_rescan(&campaign, &vols)
+        );
+        assert_eq!(
+            estimate_cluster_volumes(&campaign, &vols, 10),
+            estimate_cluster_volumes_rescan(&campaign, &vols, 10)
+        );
+        assert_eq!(
+            match_fraction_scores(&campaign, &vols),
+            match_fraction_scores_rescan(&campaign, &vols)
+        );
+    }
+
+    /// The attribution index reconstructs exactly the per-cluster link
+    /// matrix the rescan path reads off representative catchments.
+    #[test]
+    fn final_links_matches_representative_catchments() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 1,
+                max_poison_configs: Some(6),
+            },
+        );
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        let links = campaign.attribution.final_links();
+        assert_eq!(links.len(), campaign.clustering.num_clusters());
+        assert_eq!(
+            campaign.attribution.num_configs(),
+            campaign.catchments.len()
+        );
+        for (c, row) in links.iter().enumerate() {
+            let rep = campaign.clustering.cluster_members(c as u32)[0];
+            for (k, cat) in campaign.catchments.iter().enumerate() {
+                assert_eq!(row[k], cat.get(rep), "cluster {c} config {k}");
+            }
+        }
+        // The split log accounts for all cluster growth.
+        let grown: usize = (0..campaign.attribution.num_configs())
+            .flat_map(|k| campaign.attribution.split_log(k))
+            .map(|s| s.children.len() - 1)
+            .sum();
+        assert_eq!(grown + 1, campaign.clustering.num_clusters());
+    }
+
+    /// A short volume row is a caller bug, not zero volume (the old
+    /// `unwrap_or(0)` silently exonerated clusters on missing data).
+    #[test]
+    #[should_panic(expected = "silently exonerate")]
+    fn short_volume_rows_rejected() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 1,
+                max_poison_configs: Some(4),
+            },
+        );
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        let mut vols = link_volume_matrix(
+            &campaign,
+            &vec![1u64; g.topology.num_ases()],
+            origin.num_links(),
+        );
+        vols[0].truncate(campaign.attribution.num_links().saturating_sub(1));
+        let _ = rank_suspects(&campaign, &vols);
     }
 
     #[test]

@@ -73,14 +73,19 @@ pub type VolumeOracle<'a> = dyn Fn(&AnnouncementConfig) -> Vec<u64> + 'a;
 
 /// Suspects under the current observations: members of clusters whose
 /// link carried volume in *every* deployed configuration.
+///
+/// This is the from-scratch rescan (materialize clusters, re-read every
+/// catchment and volume vector per round). The online loop now maintains
+/// the same per-cluster state incrementally through refinement deltas —
+/// see [`SuspectState`] — and checks itself against this reference under
+/// `debug_assertions`.
 fn current_suspects(
     clustering: &Clustering,
     catchments: &[Catchments],
     volumes: &[Vec<u64>],
 ) -> Vec<AsIndex> {
-    let clusters = clustering.clusters();
     let mut out = Vec::new();
-    'cluster: for members in clusters {
+    'cluster: for members in clustering.iter_clusters() {
         let rep = members[0];
         let mut constrained = false;
         for (cat, vols) in catchments.iter().zip(volumes) {
@@ -91,10 +96,65 @@ fn current_suspects(
             }
         }
         if constrained {
-            out.extend(members);
+            out.extend_from_slice(members);
         }
     }
     out
+}
+
+/// Per-cluster suspect bookkeeping maintained incrementally across the
+/// online loop: `constrained[c]` = the lineage of cluster `c` was observed
+/// on some link in at least one deployed configuration, `alive[c]` = no
+/// observed link of the lineage was ever silent. Because all members of a
+/// cluster share their full catchment history, both flags survive splits
+/// unchanged — children simply inherit them through the delta's parent
+/// mapping.
+struct SuspectState {
+    constrained: Vec<bool>,
+    alive: Vec<bool>,
+}
+
+impl SuspectState {
+    fn new(clustering: &Clustering) -> SuspectState {
+        SuspectState {
+            constrained: vec![false; clustering.num_clusters()],
+            alive: vec![true; clustering.num_clusters()],
+        }
+    }
+
+    /// Re-key through one refinement delta and fold in the new
+    /// configuration's volumes (absent entries read as silent, matching
+    /// the rescan reference).
+    fn apply(&mut self, delta: &crate::cluster::RefineDelta, vols: &[u64]) {
+        let mut next_constrained = Vec::with_capacity(delta.num_clusters());
+        let mut next_alive = Vec::with_capacity(delta.num_clusters());
+        for (c, &parent) in delta.parent_of.iter().enumerate() {
+            let mut constrained = self.constrained[parent as usize];
+            let mut alive = self.alive[parent as usize];
+            if let Some(link) = delta.link_of[c] {
+                constrained = true;
+                if vols.get(link.us()).copied().unwrap_or(0) == 0 {
+                    alive = false;
+                }
+            }
+            next_constrained.push(constrained);
+            next_alive.push(alive);
+        }
+        self.constrained = next_constrained;
+        self.alive = next_alive;
+    }
+
+    /// Members of every constrained, never-exonerated cluster, in cluster
+    /// id order (identical to [`current_suspects`] output order).
+    fn suspects(&self, clustering: &Clustering) -> Vec<AsIndex> {
+        let mut out = Vec::new();
+        for (c, members) in clustering.iter_clusters().enumerate() {
+            if self.constrained[c] && self.alive[c] {
+                out.extend_from_slice(members);
+            }
+        }
+        out
+    }
 }
 
 /// Expected number of suspect-set parts configuration `cat` produces,
@@ -131,6 +191,7 @@ pub fn localize_online(
         assert_eq!(p.len(), candidates.len());
     }
     let mut clustering = Clustering::single(tracked.to_vec());
+    let mut state = SuspectState::new(&clustering);
     let mut deployed = Vec::new();
     let mut catchments: Vec<Catchments> = Vec::new();
     let mut volumes: Vec<Vec<u64>> = Vec::new();
@@ -179,13 +240,20 @@ pub fn localize_online(
             let cfg = &candidates[choice];
             let cat = measure_catchments(choice, cfg);
             let vols = observe(cfg);
-            clustering.refine(&cat);
+            let delta = clustering.refine_logged(&cat);
+            state.apply(&delta, &vols);
             catchments.push(cat);
             volumes.push(vols);
             deployed.push(choice);
         }
         batch.clear();
-        suspects = current_suspects(&clustering, &catchments, &volumes);
+        suspects = state.suspects(&clustering);
+        // The incremental state must agree with the from-scratch rescan
+        // every round (cheap insurance; the rescan is the old hot path).
+        debug_assert_eq!(
+            suspects,
+            current_suspects(&clustering, &catchments, &volumes)
+        );
         trajectory.push(suspects.len());
         if suspects.len() <= opts.target_suspects || remaining.is_empty() {
             break;

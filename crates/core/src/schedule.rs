@@ -204,10 +204,9 @@ pub fn traffic_weighted_objective<'a>(
     volume_per_as: &'a [u64],
 ) -> impl Fn(&Clustering) -> f64 + 'a {
     move |c: &Clustering| {
-        let clusters = c.clusters();
         let mut weighted = 0.0f64;
         let mut total = 0.0f64;
-        for members in &clusters {
+        for members in c.iter_clusters() {
             let v: u64 = members
                 .iter()
                 .map(|a| volume_per_as.get(a.us()).copied().unwrap_or(0))

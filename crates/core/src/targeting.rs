@@ -95,14 +95,14 @@ pub fn propose_targeted_poisons(
         .expect("baseline valid");
     let predictor = CatchmentPredictor::new(topo);
 
-    // Largest clusters first.
-    let clusters = campaign.clustering.clusters();
-    let mut order: Vec<usize> = (0..clusters.len()).collect();
-    order.sort_by_key(|&k| usize::MAX - clusters[k].len());
+    // Largest clusters first (CSR slices; no membership materialization).
+    let clustering = &campaign.clustering;
+    let mut order: Vec<usize> = (0..clustering.num_clusters()).collect();
+    order.sort_by_key(|&k| usize::MAX - clustering.cluster_size(k as u32));
 
     let mut proposals = Vec::new();
     for &cluster_idx in order.iter().take(top_clusters) {
-        let members = &clusters[cluster_idx];
+        let members = clustering.cluster_members(cluster_idx as u32);
         if members.len() < 2 {
             continue; // nothing to split
         }

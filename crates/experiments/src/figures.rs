@@ -14,7 +14,7 @@ use trackdown_core::schedule::{greedy_schedule, mean_size_objective, random_sche
 use trackdown_core::Phase;
 use trackdown_topology::cone::ConeInfo;
 use trackdown_traffic::{
-    cumulative_volume_by_cluster_size, pareto_shape_80_20, place_sources, SourcePlacement,
+    cumulative_volume_by_cluster_slices, pareto_shape_80_20, place_sources, SourcePlacement,
 };
 
 /// Table I: PoPs and providers of the simulated platform.
@@ -471,7 +471,7 @@ pub fn fig9(scenario: &Scenario) -> String {
 /// Figure 10: traffic volume vs cluster size per source distribution.
 pub fn fig10(scenario: &Scenario, campaign: &Campaign, placements: usize) -> String {
     let n = scenario.gen.topology.num_ases();
-    let clusters = campaign.clustering.clusters();
+    let clustering = &campaign.clustering;
     let scenarios: [(&str, SourcePlacement); 3] = [
         ("uniform", SourcePlacement::Uniform { total: 100 }),
         (
@@ -487,14 +487,14 @@ pub fn fig10(scenario: &Scenario, campaign: &Campaign, placements: usize) -> Str
     let mut rows = Vec::new();
     for (name, placement) in scenarios {
         // Average the cumulative step functions over many placements.
-        let mut grid: Vec<usize> = clusters.iter().map(|c| c.len()).collect();
+        let mut grid: Vec<usize> = clustering.sizes();
         grid.sort_unstable();
         grid.dedup();
         let mut acc: Vec<f64> = vec![0.0; grid.len()];
         for p in 0..placements {
             let placed = place_sources(n, &campaign.tracked, placement, 0xF16_0000 + p as u64);
             let vols = placed.volume_per_as(1_000);
-            let curve = cumulative_volume_by_cluster_size(&clusters, &vols);
+            let curve = cumulative_volume_by_cluster_slices(clustering.iter_clusters(), &vols);
             let step = |x: usize| -> f64 {
                 // Cumulative fraction at size <= x.
                 let mut last = 0.0;

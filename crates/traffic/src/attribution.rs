@@ -42,6 +42,16 @@ pub fn cumulative_volume_by_cluster_size(
     clusters: &[Vec<AsIndex>],
     volume_per_as: &[u64],
 ) -> Vec<(usize, f64)> {
+    cumulative_volume_by_cluster_slices(clusters.iter().map(|c| c.as_slice()), volume_per_as)
+}
+
+/// [`cumulative_volume_by_cluster_size`] over borrowed member slices, so
+/// callers holding a CSR-backed clustering (e.g.
+/// `Clustering::iter_clusters`) never materialize `Vec<Vec<AsIndex>>`.
+pub fn cumulative_volume_by_cluster_slices<'a>(
+    clusters: impl IntoIterator<Item = &'a [AsIndex]>,
+    volume_per_as: &[u64],
+) -> Vec<(usize, f64)> {
     let mut per_size: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
     let mut total = 0u64;
     for cluster in clusters {

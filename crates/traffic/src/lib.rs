@@ -29,7 +29,10 @@ pub mod packet;
 pub mod placement;
 pub mod reflector;
 
-pub use attribution::{cumulative_volume_by_cluster_size, hottest, volume_per_link};
+pub use attribution::{
+    cumulative_volume_by_cluster_size, cumulative_volume_by_cluster_slices, hottest,
+    volume_per_link,
+};
 pub use classify::{ClassifierReport, SpoofClassifier};
 pub use flow::{
     as_address, as_prefix, claimed_as, legitimate_flows, spoofed_flows, Flow, FlowConfig,

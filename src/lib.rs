@@ -55,8 +55,9 @@ pub mod prelude {
     };
     pub use trackdown_core::generator::{full_schedule, GeneratorParams};
     pub use trackdown_core::localize::{
-        estimate_cluster_volumes, link_volume_matrix, rank_suspects, run_campaign,
-        run_campaign_mode, run_campaign_parallel, suspect_ases, Campaign, CampaignMode,
+        estimate_cluster_volumes, estimate_cluster_volumes_rescan, link_volume_matrix,
+        rank_suspects, rank_suspects_rescan, run_campaign, run_campaign_mode,
+        run_campaign_parallel, suspect_ases, AttributionIndex, Campaign, CampaignMode,
         CampaignStats, CatchmentSource,
     };
     pub use trackdown_core::{AnnouncementConfig, Clustering, Dataset, Phase};
