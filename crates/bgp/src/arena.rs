@@ -192,6 +192,30 @@ impl PathArena {
             nodes: Arc::from(self.nodes.as_slice()),
         }
     }
+
+    /// Merge another arena's snapshot into this one through the canonical
+    /// interning map, returning the id remap table: `remap[i]` is this
+    /// arena's id for the path that ended at node `i` of `store`.
+    ///
+    /// Nodes are re-interned parent-first in one pass (a store's parent
+    /// ids always precede their children, because the source arena was
+    /// append-only), so the merge is O(nodes) with no path
+    /// materialization. Shared prefixes collapse onto existing nodes —
+    /// this is how per-shard arenas fold into one bounded canonical
+    /// arena: the merged node count is the size of the *union* path tree,
+    /// never the sum of the inputs.
+    pub fn absorb_store(&mut self, store: &PathStore) -> Vec<PathId> {
+        let mut remap: Vec<PathId> = Vec::with_capacity(store.nodes.len());
+        for node in store.nodes.iter() {
+            let parent = if node.parent.is_empty() {
+                PathId::EMPTY
+            } else {
+                remap[node.parent.0 as usize]
+            };
+            remap.push(self.push(parent, node.asn));
+        }
+        remap
+    }
 }
 
 /// An immutable snapshot of a [`PathArena`]'s node table, carried by
@@ -321,6 +345,62 @@ mod tests {
         assert_eq!(store.materialize(id), path);
         let walked: Vec<Asn> = store.iter(id).collect();
         assert_eq!(walked, path.as_slice());
+    }
+
+    #[test]
+    fn absorb_store_preserves_paths_and_dedups_prefixes() {
+        // Two independent arenas with overlapping path trees, as two
+        // shard workers would build during one campaign.
+        let paths_a = [
+            AsPath::from_sequence([Asn(4), Asn(3), Asn(1)]),
+            AsPath::from_sequence([Asn(5), Asn(3), Asn(1)]),
+        ];
+        let paths_b = [
+            AsPath::from_sequence([Asn(4), Asn(3), Asn(1)]), // shared with a
+            AsPath::from_sequence([Asn(9), Asn(1)]),
+        ];
+        let mut a = PathArena::new();
+        let ids_a: Vec<PathId> = paths_a.iter().map(|p| a.intern_path(p)).collect();
+        let mut b = PathArena::new();
+        let ids_b: Vec<PathId> = paths_b.iter().map(|p| b.intern_path(p)).collect();
+        let (na, nb) = (a.num_nodes(), b.num_nodes());
+
+        let mut merged = PathArena::new();
+        let remap_a = merged.absorb_store(&a.store());
+        let remap_b = merged.absorb_store(&b.store());
+        // Every absorbed path materializes identically under its remapped id.
+        for (p, id) in paths_a.iter().zip(&ids_a) {
+            assert_eq!(&merged.materialize(remap_a[id.0 as usize]), p);
+        }
+        for (p, id) in paths_b.iter().zip(&ids_b) {
+            assert_eq!(&merged.materialize(remap_b[id.0 as usize]), p);
+        }
+        // Canonical interning: the shared path lands on one id, and the
+        // merged arena holds the union tree, strictly smaller than the sum.
+        assert_eq!(
+            remap_a[ids_a[0].0 as usize], remap_b[ids_b[0].0 as usize],
+            "shared path must collapse to one canonical id"
+        );
+        assert!(merged.num_nodes() < na + nb);
+        // Union tree: 1, 1-3, 1-3-4, 1-3-5, 1-9.
+        assert_eq!(merged.num_nodes(), 5);
+    }
+
+    #[test]
+    fn absorb_into_nonempty_arena_is_canonical() {
+        let mut live = PathArena::new();
+        let shared = AsPath::from_sequence([Asn(2), Asn(1)]);
+        let live_id = live.intern_path(&shared);
+        let mut other = PathArena::new();
+        let other_id = other.intern_path(&shared);
+        let fresh = other.intern_path(&AsPath::from_sequence([Asn(7), Asn(2), Asn(1)]));
+        let remap = live.absorb_store(&other.store());
+        assert_eq!(remap[other_id.0 as usize], live_id);
+        assert_eq!(
+            live.materialize(remap[fresh.0 as usize]),
+            AsPath::from_sequence([Asn(7), Asn(2), Asn(1)])
+        );
+        assert_eq!(live.num_nodes(), 3);
     }
 
     #[test]

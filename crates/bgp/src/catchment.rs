@@ -9,7 +9,47 @@
 use crate::engine::RoutingOutcome;
 use crate::route::LinkId;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 use trackdown_topology::AsIndex;
+
+/// One shard's slice of a catchment extraction: the assignments for a
+/// contiguous [`AsIndex`] range of one configuration's outcome.
+///
+/// Shard executors extract these independently (possibly on different
+/// threads, in any completion order) and reassemble them with
+/// [`Catchments::assemble`]; the assembled value is bit-identical to the
+/// whole-topology extraction because both control-plane tagging and
+/// data-plane walks are per-source pure functions of the routing outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCatchments {
+    /// The [`AsIndex`] range this slice covers.
+    pub range: Range<usize>,
+    /// Assignment for each AS in `range`, in index order.
+    pub assignment: Vec<Option<LinkId>>,
+}
+
+impl ShardCatchments {
+    /// Control-plane extraction for one shard: ingress tags of the best
+    /// routes in `range`.
+    pub fn from_control_plane(outcome: &RoutingOutcome, range: Range<usize>) -> ShardCatchments {
+        let assignment = range
+            .clone()
+            .map(|i| outcome.catchment(AsIndex(i as u32)))
+            .collect();
+        ShardCatchments { range, assignment }
+    }
+
+    /// Data-plane extraction for one shard: forwarding walks from each AS
+    /// in `range`, with one reusable walker per call.
+    pub fn from_data_plane(outcome: &RoutingOutcome, range: Range<usize>) -> ShardCatchments {
+        let mut walker = crate::engine::ForwardingWalker::new();
+        let assignment = range
+            .clone()
+            .map(|i| walker.walk(outcome, AsIndex(i as u32)).map(|w| w.link))
+            .collect();
+        ShardCatchments { range, assignment }
+    }
+}
 
 /// Per-AS catchment assignment for one announcement configuration.
 ///
@@ -43,6 +83,31 @@ impl Catchments {
         let assignment = (0..outcome.best.len())
             .map(|i| walker.walk(outcome, AsIndex(i as u32)).map(|w| w.link))
             .collect();
+        Catchments { assignment }
+    }
+
+    /// Reassemble per-shard extraction slices into one whole-topology
+    /// assignment over `n` ASes. Order of `parts` does not matter; ranges
+    /// must be disjoint and within `0..n` (ASes no part covers stay
+    /// unassigned).
+    ///
+    /// # Panics
+    /// Panics if a part's length disagrees with its range, or a range
+    /// exceeds `n`.
+    pub fn assemble<'a>(
+        n: usize,
+        parts: impl IntoIterator<Item = &'a ShardCatchments>,
+    ) -> Catchments {
+        let mut assignment = vec![None; n];
+        for part in parts {
+            assert_eq!(
+                part.assignment.len(),
+                part.range.len(),
+                "shard slice length disagrees with its range"
+            );
+            assert!(part.range.end <= n, "shard range exceeds topology size");
+            assignment[part.range.clone()].copy_from_slice(&part.assignment);
+        }
         Catchments { assignment }
     }
 
@@ -157,6 +222,69 @@ mod tests {
         let c = sample();
         let total: usize = c.active_links().iter().map(|&l| c.members(l).count()).sum();
         assert_eq!(total, c.assigned_count());
+    }
+
+    #[test]
+    fn assemble_from_shards_matches_whole_extraction() {
+        use crate::engine::{BgpEngine, EngineConfig};
+        use crate::origin::{LinkAnnouncement, OriginAs};
+        use trackdown_topology::gen::{generate, TopologyConfig};
+
+        let g = generate(&TopologyConfig::small(13));
+        let origin = OriginAs::peering_style(&g, 4);
+        let engine = BgpEngine::new(&g.topology, &EngineConfig::default());
+        let anns: Vec<_> = origin.link_ids().map(LinkAnnouncement::plain).collect();
+        let out = engine.propagate_config(&origin, &anns, 200).unwrap();
+        let n = g.topology.num_ases();
+        for shards in [1usize, 2, 3, 8] {
+            let chunk = n.div_ceil(shards);
+            let ranges: Vec<_> = (0..shards)
+                .map(|s| (s * chunk).min(n)..((s + 1) * chunk).min(n))
+                .collect();
+            let cp_parts: Vec<ShardCatchments> = ranges
+                .iter()
+                .map(|r| ShardCatchments::from_control_plane(&out, r.clone()))
+                .collect();
+            let dp_parts: Vec<ShardCatchments> = ranges
+                .iter()
+                .map(|r| ShardCatchments::from_data_plane(&out, r.clone()))
+                .collect();
+            assert_eq!(
+                Catchments::assemble(n, &cp_parts),
+                Catchments::from_control_plane(&out),
+                "{shards}-way control-plane assembly diverged"
+            );
+            // Completion order must not matter.
+            let mut reversed: Vec<_> = dp_parts.clone();
+            reversed.reverse();
+            assert_eq!(
+                Catchments::assemble(n, &reversed),
+                Catchments::from_data_plane(&out),
+                "{shards}-way data-plane assembly diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn assemble_leaves_uncovered_ranges_unassigned() {
+        let part = ShardCatchments {
+            range: 2..4,
+            assignment: vec![Some(LinkId(1)), None],
+        };
+        let c = Catchments::assemble(6, [&part]);
+        assert_eq!(c.get(AsIndex(2)), Some(LinkId(1)));
+        assert_eq!(c.get(AsIndex(3)), None);
+        assert_eq!(c.assigned_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with its range")]
+    fn assemble_rejects_malformed_slice() {
+        let part = ShardCatchments {
+            range: 0..3,
+            assignment: vec![None],
+        };
+        let _ = Catchments::assemble(3, [&part]);
     }
 
     #[test]

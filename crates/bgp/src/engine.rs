@@ -598,6 +598,15 @@ impl<'e, 't> CampaignSession<'e, 't> {
         self.peak_arena_nodes
     }
 
+    /// Snapshot of the session's interned path tree. Shard executors take
+    /// one per worker at campaign end and fold them through
+    /// [`PathArena::absorb_store`] into a single canonical arena, which
+    /// bounds the merged footprint by the union path tree rather than the
+    /// per-worker sum.
+    pub fn path_store(&self) -> PathStore {
+        self.sim.arena.store()
+    }
+
     /// Configurations deployed through this session.
     pub fn deployments(&self) -> usize {
         self.deployments

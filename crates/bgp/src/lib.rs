@@ -41,7 +41,7 @@ pub mod policy;
 pub mod route;
 
 pub use arena::{PathArena, PathId, PathStore};
-pub use catchment::Catchments;
+pub use catchment::{Catchments, ShardCatchments};
 pub use community::{Community, CommunityBits, CommunitySet};
 pub use engine::{
     BgpEngine, CampaignSession, EngineConfig, ForwardingPath, ForwardingWalker, RouteChange,

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! trackdown topology  [--scale S] [--seed N] [--out FILE]   # export as-rel
-//! trackdown campaign  [--scale S] [--seed N] [--measured] [--cold] --out FILE
+//! trackdown campaign  [--scale S] [--seed N] [--measured] [--cold] [--shards N] --out FILE
 //!                     [--metrics-out FILE] [--metrics-deterministic]
 //! trackdown info      --dataset FILE
 //! trackdown localize  --dataset FILE --attacker ASN [--attacker ASN ...]
@@ -63,9 +63,9 @@ fn usage() -> ExitCode {
         "trackdown — BGP-steered localization of spoofed-traffic sources
 
 USAGE:
-  trackdown topology  [--scale small|medium|full] [--seed N] [--format as-rel|dot] [--out FILE]
-  trackdown campaign  [--scale small|medium|full] [--seed N] [--measured] [--cold] --out FILE
-                      [--metrics-out FILE] [--metrics-deterministic]
+  trackdown topology  [--scale small|medium|full|large] [--seed N] [--format as-rel|dot] [--out FILE]
+  trackdown campaign  [--scale small|medium|full|large] [--seed N] [--measured] [--cold]
+                      [--shards N] --out FILE [--metrics-out FILE] [--metrics-deterministic]
   trackdown info      --dataset FILE
   trackdown localize  --dataset FILE --attacker ASN [--attacker ASN ...] [--volume BYTES]
   trackdown hijack    --dataset FILE [--config K]
@@ -135,6 +135,9 @@ impl Args {
         }
         opts.measured = self.has("--measured");
         opts.cold = self.has("--cold");
+        if let Some(s) = self.get("--shards") {
+            opts.shards = s.parse().ok().filter(|&v| v >= 1)?;
+        }
         opts.metrics_out = self.get("--metrics-out").map(str::to_string);
         opts.metrics_deterministic = self.has("--metrics-deterministic");
         Some(opts)
@@ -388,6 +391,94 @@ struct BenchSnapshot {
     attribution_scan_ms: f64,
     /// `attribution_scan_ms / attribution_indexed_ms` — gated ≥ 5.0 in CI.
     attribution_speedup: f64,
+    /// Logical cores available to the benching machine (schema 4). The
+    /// shard-speedup CI gate scales its floor with this; the value itself
+    /// is machine-dependent and excluded from snapshot comparisons.
+    cores: u64,
+    /// ASes in the schema-4 `large` arm's power-law topology.
+    large_ases: u64,
+    /// Tracked sources (baseline anycast coverage) in the large arm.
+    large_tracked: u64,
+    /// Configurations in the large arm's trimmed schedule.
+    large_configs: u64,
+    /// Catchment-extraction shards used by the large arm's sharded runs.
+    large_shards: u64,
+    /// Sharded large campaign wall-clock with 1 worker thread (ms).
+    large_1t_ms: f64,
+    /// Sharded large campaign wall-clock with 8 worker threads (ms).
+    large_8t_ms: f64,
+    /// `large_1t_ms / large_8t_ms` — CI gates this against a
+    /// core-count-adaptive floor (3.0 on ≥ 8-core machines).
+    large_shard_speedup: f64,
+}
+
+/// The schema-4 paper-scale arm: the power-law `large` scenario (≥ 10k
+/// ASes, ≥ 5k tracked sources) driven through the sharded batch-catchment
+/// executor on a Gao-Rexford-clean engine. Correctness first — the
+/// 8-shard run must reproduce the unsharded parallel path exactly — then
+/// the 1-thread vs 8-thread sharded timing the CI speedup gate reads.
+fn bench_large_arm() -> Result<(u64, u64, u64, u64, f64, f64), String> {
+    use trackdown_core::localize::{
+        run_campaign_parallel_mode, run_campaign_sharded_mode, CampaignMode, CatchmentSource,
+    };
+
+    const SHARDS: usize = 8;
+    let scenario = Scenario::build(Options {
+        scale: Scale::Large,
+        seed: 7,
+        ..Options::default()
+    });
+    let engine_cfg = trackdown_bgp::EngineConfig {
+        policy: trackdown_bgp::PolicyConfig {
+            violator_fraction: 0.0,
+            ..scenario.engine_cfg.policy.clone()
+        },
+        ..scenario.engine_cfg.clone()
+    };
+    let engine = trackdown_bgp::BgpEngine::new(&scenario.gen.topology, &engine_cfg);
+    let schedule = scenario.schedule();
+    let run_sharded = |threads: usize| {
+        let t = std::time::Instant::now();
+        let campaign = run_campaign_sharded_mode(
+            &engine,
+            &scenario.origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            scenario.engine_cfg.max_events_factor,
+            threads,
+            SHARDS,
+            CampaignMode::Warm,
+        );
+        (campaign, t.elapsed().as_secs_f64() * 1e3)
+    };
+    // Equality against the unsharded path before any timing: the sharded
+    // executor must be a pure performance transform.
+    let unsharded = run_campaign_parallel_mode(
+        &engine,
+        &scenario.origin,
+        &schedule,
+        CatchmentSource::ControlPlane,
+        scenario.engine_cfg.max_events_factor,
+        8,
+        CampaignMode::Warm,
+    );
+    let (sharded, t8) = run_sharded(8);
+    if sharded.catchments != unsharded.catchments
+        || sharded.tracked != unsharded.tracked
+        || sharded.clustering.clusters() != unsharded.clustering.clusters()
+        || sharded.records != unsharded.records
+    {
+        return Err("sharded/unsharded large campaigns diverged; bench snapshot aborted".into());
+    }
+    let (_c1, t1) = run_sharded(1);
+    Ok((
+        scenario.gen.topology.num_ases() as u64,
+        sharded.tracked.len() as u64,
+        schedule.len() as u64,
+        SHARDS as u64,
+        t1,
+        t8,
+    ))
 }
 
 /// The schema-3 attribution workload: a 50k-source synthetic partition
@@ -583,8 +674,14 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
     let (attribution_sources, attribution_configs, attribution_indexed_ms, attribution_scan_ms) =
         bench_attribution_arms()?;
 
+    let (large_ases, large_tracked, large_configs, large_shards, large_1t_ms, large_8t_ms) =
+        bench_large_arm()?;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1) as u64;
+
     let snap = BenchSnapshot {
-        schema: 3,
+        schema: 4,
         bench: "pipeline".into(),
         scale: "small".into(),
         seed: 7,
@@ -605,18 +702,33 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
         attribution_indexed_ms: (attribution_indexed_ms * 1e3).round() / 1e3,
         attribution_scan_ms: (attribution_scan_ms * 1e3).round() / 1e3,
         attribution_speedup: ((attribution_scan_ms / attribution_indexed_ms) * 1e3).round() / 1e3,
+        cores,
+        large_ases,
+        large_tracked,
+        large_configs,
+        large_shards,
+        large_1t_ms: (large_1t_ms * 1e3).round() / 1e3,
+        large_8t_ms: (large_8t_ms * 1e3).round() / 1e3,
+        large_shard_speedup: ((large_1t_ms / large_8t_ms) * 1e3).round() / 1e3,
     };
     let json = serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?;
     fs::write(out_path, json + "\n").map_err(|e| format!("write {out_path}: {e}"))?;
     println!(
         "wrote {out_path} (warm {:.1} ms, cold {:.1} ms, speedup {:.2}x; \
-         attribution indexed {:.1} ms vs scan {:.1} ms, {:.1}x)",
+         attribution indexed {:.1} ms vs scan {:.1} ms, {:.1}x; \
+         large {} ASes/{} tracked sharded 1t {:.0} ms vs 8t {:.0} ms, {:.2}x on {} cores)",
         snap.warm_ms,
         snap.cold_ms,
         snap.speedup,
         snap.attribution_indexed_ms,
         snap.attribution_scan_ms,
-        snap.attribution_speedup
+        snap.attribution_speedup,
+        snap.large_ases,
+        snap.large_tracked,
+        snap.large_1t_ms,
+        snap.large_8t_ms,
+        snap.large_shard_speedup,
+        snap.cores
     );
     Ok(())
 }

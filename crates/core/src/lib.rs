@@ -68,8 +68,9 @@ pub use generator::{full_schedule, GeneratorParams};
 pub use localize::{
     estimate_cluster_volumes, estimate_cluster_volumes_rescan, rank_suspects, rank_suspects_rescan,
     run_campaign, run_campaign_mode, run_campaign_parallel, run_campaign_parallel_mode,
-    AttributionIndex, Campaign, CampaignMode, CampaignStats, CatchmentSource, SuspectCluster,
-    VolumeEstimate,
+    run_campaign_sharded, run_campaign_sharded_mode, run_campaign_sharded_recorded,
+    AttributionIndex, Campaign, CampaignMode, CampaignStats, CatchmentSource, ShardPlan,
+    SuspectCluster, VolumeEstimate,
 };
 
 #[cfg(test)]

@@ -64,6 +64,14 @@ pub struct CampaignStats {
     /// High-water node count of the interned path arena (max over
     /// workers): the steady-state memory footprint of warm reuse.
     pub peak_arena_nodes: usize,
+    /// Catchment-extraction shards used (1 = whole-topology extraction).
+    pub shards: usize,
+    /// Node count of the canonical arena obtained by merging every
+    /// worker's path arena after a sharded campaign (0 for the other
+    /// executors). Shared AS-path prefixes intern to the same node, so
+    /// this stays close to `peak_arena_nodes` rather than growing with
+    /// the worker count — the memory bound DESIGN.md §4f relies on.
+    pub merged_arena_nodes: usize,
 }
 
 impl Default for CampaignStats {
@@ -75,6 +83,8 @@ impl Default for CampaignStats {
             cold_restarts: 0,
             threads: 1,
             peak_arena_nodes: 0,
+            shards: 1,
+            merged_arena_nodes: 0,
         }
     }
 }
@@ -687,6 +697,383 @@ pub fn run_campaign_parallel_recorded(
         catchments.push(cat);
         converged.push(conv);
     }
+    let tracked: Vec<AsIndex> = topo
+        .indices()
+        .filter(|&i| catchments[0].get(i).is_some())
+        .collect();
+    assemble_campaign(configs, catchments, converged, tracked, None, stats)
+}
+
+/// Partition of the AS index space into contiguous, equal-width shards
+/// for catchment extraction.
+///
+/// The plan is a pure function of `(num_ases, num_shards)`: shard `s`
+/// covers `[s·⌈n/k⌉, (s+1)·⌈n/k⌉) ∩ [0, n)`. Because shards slice the
+/// *extraction* of each configuration's fixpoint — never the propagation
+/// itself — the assembled catchments are bit-identical for every shard
+/// count, which is what lets the sharded executor promise manifest
+/// byte-identity across `--shards`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    num_ases: usize,
+    num_shards: usize,
+}
+
+impl ShardPlan {
+    /// Plan `num_shards` shards over `num_ases` ASes (clamped to
+    /// `1..=num_ases` so no shard is empty).
+    pub fn new(num_ases: usize, num_shards: usize) -> ShardPlan {
+        ShardPlan {
+            num_ases,
+            num_shards: num_shards.clamp(1, num_ases.max(1)),
+        }
+    }
+
+    /// Number of shards after clamping.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The AS-index range shard `s` covers.
+    pub fn range(&self, shard: usize) -> std::ops::Range<usize> {
+        let chunk = self.num_ases.div_ceil(self.num_shards);
+        (shard * chunk).min(self.num_ases)..((shard + 1) * chunk).min(self.num_ases)
+    }
+
+    /// All shard ranges, in order; they tile `0..num_ases` exactly.
+    pub fn ranges(&self) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        (0..self.num_shards).map(|s| self.range(s))
+    }
+}
+
+/// Extract one shard's slice of the requested ground-truth catchments.
+fn extract_shard(
+    source: CatchmentSource,
+    outcome: &RoutingOutcome,
+    range: std::ops::Range<usize>,
+) -> trackdown_bgp::ShardCatchments {
+    match source {
+        CatchmentSource::ControlPlane => {
+            trackdown_bgp::ShardCatchments::from_control_plane(outcome, range)
+        }
+        CatchmentSource::DataPlane => {
+            trackdown_bgp::ShardCatchments::from_data_plane(outcome, range)
+        }
+        CatchmentSource::Measured => {
+            unreachable!("measured catchments come from the observation plane")
+        }
+    }
+}
+
+/// Sharded batch-catchment executor: [`run_campaign_parallel`] with the
+/// per-configuration catchment extraction additionally split into
+/// [`ShardPlan`] AS-ranges that are processed as a work-stealing batch.
+pub fn run_campaign_sharded(
+    engine: &BgpEngine<'_>,
+    origin: &OriginAs,
+    configs: &[AnnouncementConfig],
+    source: CatchmentSource,
+    max_events_factor: usize,
+    threads: usize,
+    shards: usize,
+) -> Campaign {
+    run_campaign_sharded_recorded(
+        engine,
+        origin,
+        configs,
+        source,
+        max_events_factor,
+        threads,
+        shards,
+        CampaignMode::Warm,
+        None,
+    )
+}
+
+/// [`run_campaign_sharded`] with an explicit executor mode.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_sharded_mode(
+    engine: &BgpEngine<'_>,
+    origin: &OriginAs,
+    configs: &[AnnouncementConfig],
+    source: CatchmentSource,
+    max_events_factor: usize,
+    threads: usize,
+    shards: usize,
+    mode: CampaignMode,
+) -> Campaign {
+    run_campaign_sharded_recorded(
+        engine,
+        origin,
+        configs,
+        source,
+        max_events_factor,
+        threads,
+        shards,
+        mode,
+        None,
+    )
+}
+
+/// The sharded batch-catchment executor.
+///
+/// **Propagation** is identical to [`run_campaign_parallel_recorded`]:
+/// contiguous schedule chunks per worker, one persistent warm session and
+/// footprint memo per worker, epochs recorded with the same thread ids.
+/// The shard count therefore cannot perturb propagation, epoch records,
+/// or deterministic manifests — only how extraction work is scheduled.
+///
+/// **Extraction** is the sharded part: after each fixpoint, the producing
+/// worker enqueues one `(epoch, shard)` task per [`ShardPlan`] range onto
+/// a shared work-stealing queue, sharing the outcome behind an [`Arc`].
+/// Any worker may pop any task (workers that finish their propagation
+/// chunk early drain the queue instead of idling; a producer also drains
+/// opportunistically after enqueuing, which bounds the queue — and the
+/// retained outcomes — to the shards of in-flight epochs). Results land
+/// in `(epoch, shard)`-keyed slots, so completion order is irrelevant:
+/// per-epoch slices reassemble with [`Catchments::assemble`] into exactly
+/// the whole-topology extraction, in schedule order.
+///
+/// **Memory** stays bounded per the tentpole contract: each worker keeps
+/// one path arena (its session's), and after the batch the per-worker
+/// arenas are merged through [`trackdown_bgp::PathArena::absorb_store`]'s
+/// canonical interning — `stats.merged_arena_nodes` is the size of that
+/// union arena, which shared prefixes keep near the per-worker peak
+/// instead of `threads ×` it.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_sharded_recorded(
+    engine: &BgpEngine<'_>,
+    origin: &OriginAs,
+    configs: &[AnnouncementConfig],
+    source: CatchmentSource,
+    max_events_factor: usize,
+    threads: usize,
+    shards: usize,
+    mode: CampaignMode,
+    recorder: Option<&CampaignRecorder>,
+) -> Campaign {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    assert!(!configs.is_empty(), "empty schedule");
+    assert!(
+        source != CatchmentSource::Measured,
+        "measured campaigns are sequential (the observation plane salts by deployment order)"
+    );
+    let _span = trackdown_obs::span("campaign.run");
+    let topo = engine.topology();
+    let threads = threads.max(1);
+    let plan = ShardPlan::new(topo.num_ases(), shards);
+    let num_shards = plan.num_shards();
+    let chunk_size = configs.len().div_ceil(threads);
+    let num_workers = configs.chunks(chunk_size).len();
+
+    /// One unit of extraction work: slice `shard` of epoch `epoch`'s
+    /// routing outcome.
+    struct ExtractTask {
+        epoch: usize,
+        shard: usize,
+        producer: usize,
+        outcome: Arc<RoutingOutcome>,
+    }
+
+    let queue: Mutex<VecDeque<ExtractTask>> = Mutex::new(VecDeque::new());
+    // Producers still propagating; stealers spin until this hits zero.
+    let producers = AtomicUsize::new(num_workers);
+    let parts: Mutex<Vec<Option<trackdown_bgp::ShardCatchments>>> =
+        Mutex::new(vec![None; configs.len() * num_shards]);
+
+    // Pop-and-extract one task. Returns false when the queue was empty.
+    let steal_one = |t: usize| -> bool {
+        let Some(task) = queue.lock().expect("queue poisoned").pop_front() else {
+            return false;
+        };
+        let _span = trackdown_obs::span("campaign.shard_extract");
+        trackdown_obs::counter!("campaign.shard_tasks").inc();
+        if task.producer != t {
+            trackdown_obs::counter!("campaign.shard_steals").inc();
+        }
+        let part = extract_shard(source, &task.outcome, plan.range(task.shard));
+        parts.lock().expect("parts poisoned")[task.epoch * num_shards + task.shard] = Some(part);
+        true
+    };
+
+    let mut stats = CampaignStats {
+        mode,
+        threads: num_workers,
+        shards: num_shards,
+        ..CampaignStats::default()
+    };
+    let mut converged_by_k: Vec<Option<bool>> = vec![None; configs.len()];
+    let mut memo_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut merged = trackdown_bgp::PathArena::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, chunk) in configs.chunks(chunk_size).enumerate() {
+            let base = t * chunk_size;
+            let (queue, producers, steal_one) = (&queue, &producers, &steal_one);
+            handles.push(scope.spawn(move || {
+                let order: Vec<usize> = match mode {
+                    CampaignMode::Warm => warm_start_order(chunk),
+                    CampaignMode::Cold => (0..chunk.len()).collect(),
+                };
+                let mut session = engine.session();
+                let mut memo: HashMap<String, usize> = HashMap::new();
+                let mut converged: Vec<Option<bool>> = vec![None; chunk.len()];
+                let mut pairs: Vec<(usize, usize)> = Vec::new();
+                let mut propagations = 0usize;
+                let mut memo_hits = 0usize;
+                for &off in &order {
+                    let cfg = &chunk[off];
+                    cfg.validate(origin).expect("invalid configuration");
+                    if mode == CampaignMode::Warm {
+                        let key = cfg.footprint_key();
+                        if let Some(&j) = memo.get(&key) {
+                            memo_hits += 1;
+                            converged[off] = converged[j];
+                            // Reuse epoch j's assembled catchments after the
+                            // batch instead of re-extracting its shards.
+                            pairs.push((base + off, base + j));
+                            if let Some(rec) = recorder {
+                                rec.record(EpochRecord {
+                                    epoch: base + off,
+                                    footprint: key,
+                                    mode: EpochMode::Memo,
+                                    thread: t,
+                                    events: 0,
+                                    rounds: 0,
+                                    changes: 0,
+                                    converged: converged[off].expect("memo entry deployed"),
+                                    wall_us: None,
+                                });
+                            }
+                            continue;
+                        }
+                        memo.insert(key, off);
+                    }
+                    let timer = recorder.and_then(|r| r.start_timer());
+                    let outcome = match mode {
+                        CampaignMode::Warm => session.deploy_config(
+                            origin,
+                            &cfg.to_link_announcements(),
+                            max_events_factor,
+                        ),
+                        CampaignMode::Cold => engine.propagate_config(
+                            origin,
+                            &cfg.to_link_announcements(),
+                            max_events_factor,
+                        ),
+                    }
+                    .expect("validated configuration");
+                    if let Some(rec) = recorder {
+                        let epoch_mode = match mode {
+                            CampaignMode::Warm if session.last_deploy_warm() => EpochMode::Warm,
+                            _ => EpochMode::Cold,
+                        };
+                        rec.record(EpochRecord {
+                            epoch: base + off,
+                            footprint: cfg.footprint_key(),
+                            mode: epoch_mode,
+                            thread: t,
+                            events: outcome.events,
+                            rounds: outcome.rounds,
+                            changes: outcome.changes.len(),
+                            converged: outcome.converged,
+                            wall_us: rec.elapsed_us(timer),
+                        });
+                    }
+                    propagations += 1;
+                    converged[off] = Some(outcome.converged);
+                    let outcome = Arc::new(outcome);
+                    {
+                        let mut q = queue.lock().expect("queue poisoned");
+                        for shard in 0..num_shards {
+                            q.push_back(ExtractTask {
+                                epoch: base + off,
+                                shard,
+                                producer: t,
+                                outcome: Arc::clone(&outcome),
+                            });
+                        }
+                    }
+                    // Help-first draining: keep the queue (and the routing
+                    // outcomes it retains) bounded by in-flight epochs.
+                    while steal_one(t) {}
+                }
+                producers.fetch_sub(1, Ordering::AcqRel);
+                // Chunk done: steal until every producer has finished and
+                // the queue is drained.
+                loop {
+                    if steal_one(t) {
+                        continue;
+                    }
+                    if producers.load(Ordering::Acquire) == 0 && !steal_one(t) {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                (
+                    base,
+                    converged,
+                    pairs,
+                    propagations,
+                    memo_hits,
+                    session.cold_restarts(),
+                    session.peak_arena_nodes(),
+                    session.path_store(),
+                )
+            }));
+        }
+        for h in handles {
+            let (base, converged, pairs, propagations, memo_hits, cold_restarts, peak, store) =
+                h.join().expect("worker panicked");
+            for (off, c) in converged.into_iter().enumerate() {
+                converged_by_k[base + off] = c;
+            }
+            memo_pairs.extend(pairs);
+            stats.propagations += propagations;
+            stats.memo_hits += memo_hits;
+            stats.cold_restarts += cold_restarts;
+            stats.peak_arena_nodes = stats.peak_arena_nodes.max(peak);
+            // Canonical-interning merge: shared path prefixes across
+            // worker arenas collapse to single nodes.
+            if !store.is_empty() {
+                merged.absorb_store(&store);
+            }
+        }
+    });
+    stats.merged_arena_nodes = merged.num_nodes();
+
+    let parts = parts.into_inner().expect("parts poisoned");
+    let mut catchments_by_k: Vec<Option<Catchments>> = parts
+        .chunks(num_shards)
+        .map(|epoch_parts| {
+            if epoch_parts.iter().all(|p| p.is_some()) {
+                Some(Catchments::assemble(
+                    topo.num_ases(),
+                    epoch_parts.iter().flatten(),
+                ))
+            } else {
+                None // memo epoch: filled from its source below
+            }
+        })
+        .collect();
+    for &(k, j) in &memo_pairs {
+        catchments_by_k[k] = Some(
+            catchments_by_k[j]
+                .clone()
+                .expect("memo source epoch deployed and assembled"),
+        );
+    }
+    let catchments: Vec<Catchments> = catchments_by_k
+        .into_iter()
+        .map(|c| c.expect("every configuration extracted"))
+        .collect();
+    let converged: Vec<bool> = converged_by_k
+        .into_iter()
+        .map(|c| c.expect("every configuration deployed"))
+        .collect();
     let tracked: Vec<AsIndex> = topo
         .indices()
         .filter(|&i| catchments[0].get(i).is_some())
@@ -1384,6 +1771,66 @@ mod tests {
             assert_eq!(par.tracked, seq.tracked);
             assert_eq!(par.clustering.num_clusters(), seq.clustering.num_clusters());
             assert_eq!(par.records, seq.records);
+        }
+    }
+
+    #[test]
+    fn sharded_campaign_equals_parallel_for_every_shard_count() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 2,
+                max_poison_configs: Some(10),
+            },
+        );
+        for source in [CatchmentSource::ControlPlane, CatchmentSource::DataPlane] {
+            let seq = run_campaign_mode(
+                &engine,
+                &origin,
+                &schedule,
+                source,
+                None,
+                200,
+                CampaignMode::Warm,
+            );
+            for (threads, shards) in [(1, 1), (1, 4), (3, 2), (4, 8), (2, 64)] {
+                let sharded =
+                    run_campaign_sharded(&engine, &origin, &schedule, source, 200, threads, shards);
+                assert_eq!(
+                    sharded.catchments, seq.catchments,
+                    "threads={threads} shards={shards}"
+                );
+                assert_eq!(sharded.tracked, seq.tracked);
+                assert_eq!(sharded.clustering.clusters(), seq.clustering.clusters());
+                assert_eq!(sharded.attribution, seq.attribution);
+                assert_eq!(sharded.records, seq.records);
+                assert_eq!(sharded.stats.shards, shards.min(g.topology.num_ases()));
+                // The canonical merge produced a non-trivial union arena
+                // (final session arenas can sit below the high-water mark
+                // after cold restarts, so `peak` is not a lower bound).
+                assert!(sharded.stats.merged_arena_nodes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_tiles_the_index_space() {
+        for (n, k) in [(10, 3), (10, 1), (7, 7), (5, 9), (1, 4), (100, 8)] {
+            let plan = ShardPlan::new(n, k);
+            assert!(plan.num_shards() >= 1 && plan.num_shards() <= n.max(1));
+            let mut covered = 0usize;
+            let mut next = 0usize;
+            for r in plan.ranges() {
+                assert_eq!(r.start, next, "ranges must tile contiguously");
+                assert!(!r.is_empty(), "no empty shards after clamping");
+                covered += r.len();
+                next = r.end;
+            }
+            assert_eq!(covered, n);
+            assert_eq!(next, n);
         }
     }
 

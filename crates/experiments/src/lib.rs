@@ -19,14 +19,15 @@
 //!
 //! Absolute values differ from the paper (the substrate is a synthetic
 //! Internet, not PEERING + RouteViews + Atlas); the *shapes* are the
-//! reproduction target. Every binary accepts `--scale small|medium|full`
-//! (default `full`) and `--seed <u64>`.
+//! reproduction target. Every binary accepts `--scale
+//! small|medium|full|large` (default `full`), `--seed <u64>`, and
+//! `--shards <n>` (sharded catchment extraction for the larger scales).
 
 use std::collections::BTreeSet;
 use trackdown_bgp::{BgpEngine, EngineConfig, LinkId, OriginAs, PolicyConfig};
 use trackdown_core::generator::{full_schedule, phase_boundaries, GeneratorParams};
 use trackdown_core::localize::{
-    run_campaign_parallel_recorded, run_campaign_recorded, Campaign, CampaignMode, CatchmentSource,
+    run_campaign_recorded, run_campaign_sharded_recorded, Campaign, CampaignMode, CatchmentSource,
 };
 use trackdown_core::report::{downsample, render_table, Series};
 use trackdown_core::{AnnouncementConfig, Phase};
@@ -46,6 +47,11 @@ pub enum Scale {
     Medium,
     /// ≈2000 ASes, 7 PoPs — the paper-like scale (default).
     Full,
+    /// ≈12 000 ASes (power-law generator), 7 PoPs — the paper-scale
+    /// workload the sharded batch-catchment engine targets. The schedule
+    /// is trimmed (one-removal locations, capped poisons) so runtime is
+    /// dominated by propagation + extraction over the large graph.
+    Large,
 }
 
 impl Scale {
@@ -55,6 +61,7 @@ impl Scale {
             "small" => Some(Scale::Small),
             "medium" => Some(Scale::Medium),
             "full" => Some(Scale::Full),
+            "large" => Some(Scale::Large),
             _ => None,
         }
     }
@@ -65,6 +72,7 @@ impl Scale {
             Scale::Small => "small",
             Scale::Medium => "medium",
             Scale::Full => "full",
+            Scale::Large => "large",
         }
     }
 }
@@ -84,6 +92,11 @@ pub struct Options {
     /// Cold-start every configuration from scratch instead of the default
     /// warm-start epoch reuse. Slower; kept as the reference oracle.
     pub cold: bool,
+    /// Catchment-extraction shards per configuration (`--shards`, default
+    /// 1). Shards split each fixpoint's extraction into AS-index ranges
+    /// processed as a work-stealing batch; results are identical for every
+    /// value — this is purely a load-balancing knob for large topologies.
+    pub shards: usize,
     /// Write a JSONL run manifest (run header, one epoch line per
     /// configuration, metrics snapshot) to this path after each campaign.
     pub metrics_out: Option<String>,
@@ -99,6 +112,7 @@ impl Default for Options {
             seed: 0x5eed_0001,
             measured: false,
             cold: false,
+            shards: 1,
             metrics_out: None,
             metrics_deterministic: false,
         }
@@ -130,6 +144,14 @@ impl Options {
                 }
                 "--measured" => opts.measured = true,
                 "--cold" => opts.cold = true,
+                "--shards" => {
+                    i += 1;
+                    opts.shards = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&s| s >= 1)
+                        .unwrap_or_else(|| usage());
+                }
                 "--metrics-out" => {
                     i += 1;
                     opts.metrics_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -151,8 +173,8 @@ impl Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: <experiment> [--scale small|medium|full] [--seed <u64>] [--measured] [--cold] \
-         [--metrics-out FILE] [--metrics-deterministic]"
+        "usage: <experiment> [--scale small|medium|full|large] [--seed <u64>] [--measured] \
+         [--cold] [--shards <n>] [--metrics-out FILE] [--metrics-deterministic]"
     );
     std::process::exit(2)
 }
@@ -189,6 +211,8 @@ pub struct Scenario {
     pub measured: bool,
     /// Whether campaigns cold-start every configuration (reference oracle).
     pub cold: bool,
+    /// Catchment-extraction shards per configuration.
+    pub shards: usize,
     /// Run-manifest output path ([`Scenario::run`] writes it when set).
     pub metrics_out: Option<String>,
     /// Whether manifests suppress wall-clock fields.
@@ -226,6 +250,14 @@ impl Scenario {
                     max_poison_configs: None,
                 },
             ),
+            Scale::Large => (
+                TopologyConfig::large(opts.seed),
+                7,
+                GeneratorParams {
+                    max_removals: 1,
+                    max_poison_configs: Some(24),
+                },
+            ),
         };
         let gen = generate(&topo_cfg);
         let origin = OriginAs::peering_style(&gen, pops);
@@ -245,6 +277,7 @@ impl Scenario {
             seed: opts.seed,
             measured: opts.measured,
             cold: opts.cold,
+            shards: opts.shards,
             metrics_out: opts.metrics_out,
             metrics_deterministic: opts.metrics_deterministic,
         }
@@ -314,17 +347,20 @@ impl Scenario {
         } else {
             // Independent configurations propagate in parallel — the
             // simulation analog of deploying on multiple prefixes
-            // concurrently (§V-C).
+            // concurrently (§V-C) — and each fixpoint's catchment
+            // extraction is sharded into a work-stealing batch
+            // (`--shards`; 1 keeps whole-topology extraction).
             let threads = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1);
-            run_campaign_parallel_recorded(
+            run_campaign_sharded_recorded(
                 &engine,
                 &self.origin,
                 &schedule,
                 CatchmentSource::ControlPlane,
                 self.engine_cfg.max_events_factor,
                 threads,
+                self.shards,
                 mode,
                 recorder,
             )
@@ -340,6 +376,7 @@ impl Scenario {
             scale: self.scale.label().into(),
             mode: if self.cold { "cold" } else { "warm" }.into(),
             threads: campaign.stats.threads,
+            shards: campaign.stats.shards,
             schedule_len: campaign.configs.len(),
             deterministic: self.metrics_deterministic,
         }
@@ -407,6 +444,7 @@ pub fn report_stats(campaign: &Campaign) {
         memo_hits = campaign.stats.memo_hits,
         cold_restarts = campaign.stats.cold_restarts,
         threads = campaign.stats.threads,
+        shards = campaign.stats.shards,
         mean_cluster_size = format!("{:.3}", campaign.clustering.mean_size())
     );
 }
@@ -479,6 +517,25 @@ mod tests {
         assert_eq!(Scale::parse("small"), Some(Scale::Small));
         assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
         assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("large"), Some(Scale::Large));
         assert_eq!(Scale::parse("x"), None);
+        for s in [Scale::Small, Scale::Medium, Scale::Full, Scale::Large] {
+            assert_eq!(Scale::parse(s.label()), Some(s));
+        }
+    }
+
+    #[test]
+    fn sharded_scenario_matches_unsharded() {
+        let base = Options {
+            scale: Scale::Small,
+            seed: 3,
+            ..Options::default()
+        };
+        let unsharded = Scenario::build(base.clone()).run();
+        let sharded = Scenario::build(Options { shards: 8, ..base }).run();
+        assert_eq!(sharded.catchments, unsharded.catchments);
+        assert_eq!(sharded.tracked, unsharded.tracked);
+        assert_eq!(sharded.records, unsharded.records);
+        assert_eq!(sharded.stats.shards, 8);
     }
 }

@@ -15,7 +15,13 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// Manifest schema version (`schema` field of the `run` line).
-pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+///
+/// Version 2 added the `shards` run-header field (non-deterministic
+/// manifests only — shard counts schedule *extraction* work without
+/// changing any result, so deterministic manifests omit the field the
+/// same way epoch lines omit `wall_us`, keeping them byte-identical
+/// across `--shards`).
+pub const MANIFEST_SCHEMA_VERSION: u64 = 2;
 
 /// Run-level header describing the whole campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +38,11 @@ pub struct RunInfo {
     pub mode: String,
     /// Worker threads used.
     pub threads: usize,
+    /// Catchment-extraction shards used (1 for unsharded executors).
+    /// Rendered only in non-deterministic manifests: shards rebalance
+    /// extraction work without changing any campaign result, so the
+    /// deterministic manifest must not vary with them.
+    pub shards: usize,
     /// Number of configurations in the schedule.
     pub schedule_len: usize,
     /// Whether wall-clock fields were suppressed.
@@ -161,7 +172,7 @@ pub fn render_manifest(
     metrics: Option<&MetricsSnapshot>,
 ) -> String {
     let mut out = String::new();
-    out.push_str(&json_line(&obj(vec![
+    let mut header = vec![
         ("record", Value::Str("run".into())),
         ("schema", Value::U64(MANIFEST_SCHEMA_VERSION)),
         ("name", Value::Str(run.name.clone())),
@@ -170,9 +181,15 @@ pub fn render_manifest(
         ("scale", Value::Str(run.scale.clone())),
         ("mode", Value::Str(run.mode.clone())),
         ("threads", Value::U64(run.threads as u64)),
-        ("schedule_len", Value::U64(run.schedule_len as u64)),
-        ("deterministic", Value::Bool(run.deterministic)),
-    ])));
+    ];
+    if !run.deterministic {
+        // Like wall_us on epoch lines: an execution-shape detail that
+        // must not appear in byte-identity-checked manifests.
+        header.push(("shards", Value::U64(run.shards as u64)));
+    }
+    header.push(("schedule_len", Value::U64(run.schedule_len as u64)));
+    header.push(("deterministic", Value::Bool(run.deterministic)));
+    out.push_str(&json_line(&obj(header)));
     out.push('\n');
     for r in records {
         let mut entries = vec![
@@ -238,6 +255,8 @@ pub struct ManifestSummary {
     pub deterministic: bool,
 }
 
+/// Run-header keys of a *deterministic* manifest. Non-deterministic
+/// manifests additionally carry `shards` (schema 2).
 const RUN_KEYS: &[&str] = &[
     "record",
     "schema",
@@ -325,7 +344,15 @@ pub fn validate_manifest(text: &str) -> Result<ManifestSummary, String> {
     if get_str(*first_no, header, "record")? != "run" {
         return Err(format!("line {first_no}: first record must be \"run\""));
     }
-    expect_keys(*first_no, header, RUN_KEYS)?;
+    let deterministic = get_bool(*first_no, header, "deterministic")?;
+    if deterministic {
+        expect_keys(*first_no, header, RUN_KEYS)?;
+    } else {
+        let mut with_shards: Vec<&str> = RUN_KEYS.to_vec();
+        with_shards.push("shards");
+        expect_keys(*first_no, header, &with_shards)?;
+        get_u64(*first_no, header, "shards")?;
+    }
     let schema = get_u64(*first_no, header, "schema")?;
     if schema != MANIFEST_SCHEMA_VERSION {
         return Err(format!(
@@ -333,7 +360,6 @@ pub fn validate_manifest(text: &str) -> Result<ManifestSummary, String> {
         ));
     }
     let schedule_len = get_u64(*first_no, header, "schedule_len")? as usize;
-    let deterministic = get_bool(*first_no, header, "deterministic")?;
     get_u64(*first_no, header, "seed")?;
     get_u64(*first_no, header, "policy_seed")?;
     get_u64(*first_no, header, "threads")?;
@@ -433,6 +459,7 @@ mod tests {
             scale: "small".into(),
             mode: "warm".into(),
             threads: 1,
+            shards: 1,
             schedule_len: 2,
             deterministic,
         }
@@ -479,12 +506,26 @@ mod tests {
         assert_eq!(s.cold, 1);
         assert!(text.contains("wall_us"));
         assert!(text.contains("time.deploy"));
+        assert!(text.contains("\"shards\":1"));
 
         let det = render_manifest(&run_info(true), &records(Some(33)), Some(&snap));
         let s = validate_manifest(&det).expect("valid deterministic manifest");
         assert!(s.deterministic);
         assert!(!det.contains("wall_us"), "wall-clock field leaked: {det}");
         assert!(!det.contains("time."), "wall-clock histogram leaked");
+        assert!(!det.contains("shards"), "execution-shape field leaked");
+    }
+
+    #[test]
+    fn deterministic_header_is_shard_invariant() {
+        let mut a = run_info(true);
+        let mut b = run_info(true);
+        a.shards = 1;
+        b.shards = 8;
+        assert_eq!(
+            render_manifest(&a, &records(None), None),
+            render_manifest(&b, &records(None), None),
+        );
     }
 
     #[test]
@@ -522,6 +563,14 @@ mod tests {
         let det_header = good.replace("\"deterministic\":false", "\"deterministic\":true");
         let leaked = det_header.replace("\"converged\":true}", "\"converged\":true,\"wall_us\":5}");
         assert!(validate_manifest(&leaked).is_err());
+        // shards in a deterministic header (it leaks execution shape).
+        assert!(
+            validate_manifest(&det_header).is_err(),
+            "deterministic header must not carry shards"
+        );
+        // A non-deterministic header without shards is schema drift too.
+        let shardless = good.replace("\"shards\":1,", "");
+        assert!(validate_manifest(&shardless).is_err());
         assert!(validate_manifest("").is_err());
     }
 }

@@ -103,6 +103,55 @@ impl TopologyConfig {
         }
     }
 
+    /// A deterministic power-law configuration scaled to roughly
+    /// `target_ases` ASes (intended range 10 000 – 75 000), with
+    /// CAIDA-like tier proportions: a dozen-to-twenty tier-1s, ~0.7%
+    /// large transits, ~4% regional transits, and the rest stubs.
+    ///
+    /// Tier structure, multihoming, and peering density stay configurable
+    /// through struct-update syntax on the returned value; the seed fully
+    /// determines the graph as with every other constructor.
+    pub fn power_law(seed: u64, target_ases: usize) -> TopologyConfig {
+        let n = target_ases.max(1_000);
+        let num_tier1 = (12 + n / 15_000).min(20);
+        let num_large_transit = (n / 150).max(40);
+        let num_small_transit = (n / 25).max(150);
+        let num_stubs = n - num_tier1 - num_large_transit - num_small_transit;
+        TopologyConfig {
+            seed,
+            num_tier1,
+            num_large_transit,
+            num_small_transit,
+            num_stubs,
+            num_regions: 6,
+            ..TopologyConfig::default()
+        }
+    }
+
+    /// The `large` experiment scale: a power-law graph of ≈12 000 ASes,
+    /// the smallest size at which sharded catchment extraction pays for
+    /// its coordination (see `bench-snapshot`'s large arm).
+    pub fn large(seed: u64) -> TopologyConfig {
+        TopologyConfig::power_law(seed, 12_000)
+    }
+
+    /// Paper-parameter configuration: sized like the default (≈2 000
+    /// ASes) but with stub customers concentrated on fewer regional
+    /// transits, so a 7-PoP `peering_style` origin sees the same
+    /// provider-neighborhood size the paper's poisoning phase enumerates
+    /// (347 unique provider neighbors; see `tests/paper_counts.rs`).
+    pub fn paper(seed: u64) -> TopologyConfig {
+        TopologyConfig {
+            seed,
+            num_tier1: 12,
+            num_large_transit: 30,
+            num_small_transit: 50,
+            num_stubs: 1_910,
+            num_regions: 4,
+            ..TopologyConfig::default()
+        }
+    }
+
     /// Total AS count this configuration will generate.
     pub fn total_ases(&self) -> usize {
         self.num_tier1 + self.num_large_transit + self.num_small_transit + self.num_stubs
@@ -501,6 +550,51 @@ mod tests {
             max >= median * 2,
             "expected skewed customer counts, max={max} median={median}"
         );
+    }
+
+    #[test]
+    fn power_law_hits_target_size_and_proportions() {
+        for target in [10_000usize, 30_000, 75_000] {
+            let cfg = TopologyConfig::power_law(1, target);
+            assert_eq!(cfg.total_ases(), target, "exact total at {target}");
+            assert!(cfg.num_tier1 >= 12 && cfg.num_tier1 <= 20);
+            // Stubs dominate, transits are a thin waist: the power-law
+            // shape catchment clustering exploits.
+            assert!(cfg.num_stubs * 10 >= cfg.total_ases() * 9);
+            assert!(cfg.num_small_transit > cfg.num_large_transit);
+        }
+    }
+
+    #[test]
+    fn power_law_generates_connected_valley_free_graph() {
+        let g = generate(&TopologyConfig::power_law(5, 10_000));
+        assert_eq!(g.topology.num_ases(), 10_000);
+        assert!(crate::analysis::is_connected(&g.topology));
+        // Every non-tier1 AS has a provider (valley-free annotation is
+        // total), and tier-1s stay provider-free.
+        for i in g.topology.indices() {
+            let asn = g.topology.asn_of(i);
+            if g.tier1s.contains(&asn) {
+                assert_eq!(g.topology.providers(i).count(), 0);
+            } else {
+                assert!(g.topology.providers(i).next().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_deterministic_for_same_seed() {
+        let a = generate(&TopologyConfig::power_law(9, 10_000));
+        let b = generate(&TopologyConfig::power_law(9, 10_000));
+        assert_eq!(a.topology.links(), b.topology.links());
+        assert_eq!(a.regions, b.regions);
+    }
+
+    #[test]
+    fn large_scale_is_power_law_at_12k() {
+        let cfg = TopologyConfig::large(3);
+        assert_eq!(cfg.total_ases(), 12_000);
+        assert_eq!(cfg, TopologyConfig::power_law(3, 12_000));
     }
 
     #[test]

@@ -57,8 +57,8 @@ pub mod prelude {
     pub use trackdown_core::localize::{
         estimate_cluster_volumes, estimate_cluster_volumes_rescan, link_volume_matrix,
         rank_suspects, rank_suspects_rescan, run_campaign, run_campaign_mode,
-        run_campaign_parallel, suspect_ases, AttributionIndex, Campaign, CampaignMode,
-        CampaignStats, CatchmentSource,
+        run_campaign_parallel, run_campaign_sharded, suspect_ases, AttributionIndex, Campaign,
+        CampaignMode, CampaignStats, CatchmentSource, ShardPlan,
     };
     pub use trackdown_core::{AnnouncementConfig, Clustering, Dataset, Phase};
     pub use trackdown_measure::{MeasurementConfig, MeasurementPlane};

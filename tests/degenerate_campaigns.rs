@@ -195,6 +195,7 @@ fn single_config_recorded_campaign_manifest_validates() {
             scale: "small".into(),
             mode: "warm".into(),
             threads: campaign.stats.threads,
+            shards: campaign.stats.shards,
             schedule_len: campaign.configs.len(),
             deterministic: true,
         },

@@ -4,7 +4,9 @@
 //! campaign itself — results with a recorder attached are byte-identical
 //! across 1, 2, and 8 worker threads.
 
-use trackdown_suite::core::localize::{run_campaign_parallel_recorded, run_campaign_recorded};
+use trackdown_suite::core::localize::{
+    run_campaign_parallel_recorded, run_campaign_recorded, run_campaign_sharded_recorded,
+};
 use trackdown_suite::obs::{
     validate_manifest, write_manifest, CampaignRecorder, EpochMode, RunInfo,
 };
@@ -32,6 +34,7 @@ fn run_info(name: &str, campaign: &Campaign, deterministic: bool) -> RunInfo {
         scale: "small".into(),
         mode: "warm".into(),
         threads: campaign.stats.threads,
+        shards: campaign.stats.shards,
         schedule_len: campaign.configs.len(),
         deterministic,
     }
@@ -220,4 +223,66 @@ fn recorder_does_not_perturb_thread_invariance() {
     );
     assert_eq!(one.catchments, bare.catchments);
     assert_eq!(one.records, bare.records);
+}
+
+/// Sharded catchment extraction must be invisible in deterministic
+/// manifests: rendered run + epoch lines are byte-identical across
+/// `--shards 1`, `2`, and `8` at a fixed thread count. The shard count
+/// only surfaces in non-deterministic headers (schema 2), so two runs
+/// that differ solely in sharding produce the same golden bytes.
+#[test]
+fn deterministic_manifest_is_shard_invariant() {
+    let (world, origin, schedule) = scenario(19);
+    let engine = BgpEngine::new(&world.topology, &EngineConfig::default());
+    let render = |shards: usize| {
+        let recorder = CampaignRecorder::new(true);
+        let campaign = run_campaign_sharded_recorded(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            200,
+            3,
+            shards,
+            CampaignMode::Warm,
+            Some(&recorder),
+        );
+        assert_eq!(campaign.stats.shards, shards);
+        let records = recorder.take_records();
+        assert_eq!(records.len(), schedule.len(), "{shards} shards");
+        trackdown_suite::obs::render_manifest(
+            &run_info("obs_manifest", &campaign, true),
+            &records,
+            None,
+        )
+    };
+    let one = render(1);
+    let two = render(2);
+    let eight = render(8);
+    assert_eq!(one, two, "shards=2 manifest diverged from shards=1");
+    assert_eq!(one, eight, "shards=8 manifest diverged from shards=1");
+    validate_manifest(&one).expect("shard-invariant manifest validates");
+    // Non-deterministic headers *do* carry the shard count, so operators
+    // can see the partitioning that produced a run.
+    let recorder = CampaignRecorder::new(false);
+    let campaign = run_campaign_sharded_recorded(
+        &engine,
+        &origin,
+        &schedule,
+        CatchmentSource::ControlPlane,
+        200,
+        3,
+        8,
+        CampaignMode::Warm,
+        Some(&recorder),
+    );
+    let text = trackdown_suite::obs::render_manifest(
+        &run_info("obs_manifest", &campaign, false),
+        &recorder.take_records(),
+        None,
+    );
+    assert!(
+        text.contains("\"shards\":8"),
+        "non-det header records shards"
+    );
 }

@@ -100,6 +100,38 @@ fn poison_targets_cover_every_pop_provider_neighborhood() {
     assert_eq!(asns.len(), before);
 }
 
+/// The paper's end-to-end schedule size at PEERING parameters:
+/// 64 location plus 294 prepending plus 347 poisoning = 705
+/// configurations (§IV-a). The poisoning count depends on the provider
+/// neighborhoods of the 7 PoPs, so this runs on the paper-proportioned
+/// topology (12 tier-1s, 80 transits, 1 910 stubs — §V-A's 2 002-AS
+/// setting) at a pinned seed whose 7-PoP origin sees exactly 347
+/// distinct provider neighbors.
+#[test]
+fn paper_full_schedule_is_705_configurations() {
+    let world = generate(&TopologyConfig::paper(384));
+    assert_eq!(world.topology.num_ases(), 2_002);
+    let origin = OriginAs::peering_style(&world, 7);
+    assert_eq!(origin.num_links(), 7);
+    let schedule = full_schedule(
+        &world.topology,
+        &origin,
+        &GeneratorParams {
+            max_removals: 3,
+            max_poison_configs: None,
+        },
+    );
+    let count = |p: Phase| schedule.iter().filter(|c| c.phase == p).count();
+    assert_eq!(count(Phase::Location), 64);
+    assert_eq!(count(Phase::Prepend), 294);
+    assert_eq!(count(Phase::Poison), 347);
+    assert_eq!(schedule.len(), 705);
+    for cfg in &schedule {
+        cfg.validate(&origin)
+            .expect("paper schedule config invalid");
+    }
+}
+
 #[test]
 fn full_schedule_validates_against_origin() {
     let world = generate(&TopologyConfig::medium(3));

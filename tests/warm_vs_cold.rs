@@ -11,7 +11,7 @@
 //! regimes, and are the proof obligation for the equivalence claim.
 
 use proptest::prelude::*;
-use trackdown_suite::core::localize::run_campaign_parallel_mode;
+use trackdown_suite::core::localize::{run_campaign_parallel_mode, run_campaign_sharded_mode};
 use trackdown_suite::prelude::*;
 
 /// Engine config with the violator knob explicit: `clean` engines have
@@ -144,6 +144,46 @@ proptest! {
         assert_campaigns_identical!(warm, cold);
         prop_assert_eq!(warm.stats.memo_hits, 0);
         prop_assert_eq!(warm.stats.propagations, schedule.len());
+    }
+
+    // The sharded batch-catchment executor vs the unsharded oracle, for
+    // every Warm/Cold × shard-count combination — all the way through
+    // suspect ranking, so a shard-merge bug that reshuffled catchments
+    // could not hide behind equal cluster *counts*.
+    #[test]
+    fn sharded_equals_unsharded_for_all_modes_and_shard_counts(
+        seed in 0u64..300,
+        max_poison in 4usize..10,
+        threads in 1usize..4,
+        data_plane in 0u8..2,
+        clean in 0u8..2,
+    ) {
+        let (world, origin, schedule) = scenario(seed, 4, 1, max_poison);
+        let engine = BgpEngine::new(&world.topology, &engine_config(clean == 1));
+        let source = if data_plane == 1 {
+            CatchmentSource::DataPlane
+        } else {
+            CatchmentSource::ControlPlane
+        };
+        let volume: Vec<u64> = (0..world.topology.num_ases() as u64)
+            .map(|i| 1 + i % 7)
+            .collect();
+        for mode in [CampaignMode::Warm, CampaignMode::Cold] {
+            let oracle = run_campaign_mode(
+                &engine, &origin, &schedule, source, None, 200, mode);
+            let oracle_vols = link_volume_matrix(&oracle, &volume, origin.num_links());
+            let oracle_rank = rank_suspects(&oracle, &oracle_vols);
+            for shards in [1usize, 2, 8] {
+                let sharded = run_campaign_sharded_mode(
+                    &engine, &origin, &schedule, source,
+                    200, threads, shards, mode);
+                assert_campaigns_identical!(sharded, oracle);
+                let vols = link_volume_matrix(&sharded, &volume, origin.num_links());
+                prop_assert_eq!(rank_suspects(&sharded, &vols), oracle_rank.clone());
+                prop_assert_eq!(sharded.stats.shards, shards);
+                prop_assert_eq!(sharded.stats.mode, mode);
+            }
+        }
     }
 }
 
