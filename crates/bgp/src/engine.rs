@@ -11,6 +11,7 @@
 
 use crate::arena::{PathArena, PathStore};
 use crate::community::CommunityBits;
+use crate::delta::{diff_injections, PropagationRanks};
 use crate::origin::{Injection, LinkAnnouncement, OriginAs, OriginError};
 use crate::policy::{PolicyConfig, PolicyTable};
 use crate::route::{LinkId, Route};
@@ -107,6 +108,13 @@ pub struct RoutingOutcome {
     pub changes: Vec<RouteChange>,
     /// False if the event cap fired before quiescence.
     pub converged: bool,
+    /// Number of ASes whose best route at this fixpoint differs from
+    /// their best route at the previous epoch's fixpoint (for a cold
+    /// start the previous state is empty, so this equals
+    /// [`RoutingOutcome::reachable_count`]). Transient flips that settle
+    /// back are excluded: this counts *net* disturbance, the quantity
+    /// delta propagation makes epoch cost proportional to.
+    pub routes_disturbed: usize,
 }
 
 impl RoutingOutcome {
@@ -478,6 +486,11 @@ pub struct CampaignSession<'e, 't> {
     cold_restarts: usize,
     last_deploy_warm: bool,
     peak_arena_nodes: usize,
+    /// The injections of the most recent deployment, kept so a delta
+    /// deployment can diff against them. Valid only while
+    /// `have_last_injections` (resets invalidate without deallocating).
+    last_injections: Vec<Injection>,
+    have_last_injections: bool,
 }
 
 impl<'e, 't> CampaignSession<'e, 't> {
@@ -491,6 +504,8 @@ impl<'e, 't> CampaignSession<'e, 't> {
             cold_restarts: 0,
             last_deploy_warm: false,
             peak_arena_nodes: 0,
+            last_injections: Vec::new(),
+            have_last_injections: false,
         }
     }
 
@@ -542,12 +557,116 @@ impl<'e, 't> CampaignSession<'e, 't> {
             self.deployed = true;
             self.sim.run(max_events_factor);
         }
+        self.finish_deploy(injections, warm, detail)
+    }
+
+    /// Common deployment epilogue: remember the deployed injections (the
+    /// delta diff base), record session accounting, and snapshot.
+    fn finish_deploy(
+        &mut self,
+        injections: &[Injection],
+        warm: bool,
+        detail: SnapshotDetail,
+    ) -> RoutingOutcome {
+        self.last_injections.clear();
+        self.last_injections.extend_from_slice(injections);
+        self.have_last_injections = true;
         self.last_deploy_warm = warm;
         self.peak_arena_nodes = self.peak_arena_nodes.max(self.sim.arena.num_nodes());
         trackdown_obs::counter!("bgp.deployments").inc();
         let outcome = self.sim.snapshot_cloned(detail);
         record_outcome_metrics(&outcome);
         outcome
+    }
+
+    /// Deploy a set of injections as a *delta* epoch: diff them against
+    /// the previous deployment, seed only providers whose announcement
+    /// changed, and propagate with rank-ordered scheduling
+    /// ([`PropagationRanks`]). Falls back to exactly the cold path of
+    /// [`CampaignSession::deploy`] on the first deployment, on
+    /// violator-gated sessions, and on event-cap restarts — the reported
+    /// outcome is always fixpoint-identical to a cold start.
+    pub fn deploy_delta(
+        &mut self,
+        injections: &[Injection],
+        max_events_factor: usize,
+    ) -> RoutingOutcome {
+        self.deploy_delta_detailed(injections, max_events_factor, SnapshotDetail::Catchments)
+    }
+
+    /// [`CampaignSession::deploy_delta`] with an explicit snapshot detail.
+    pub fn deploy_delta_detailed(
+        &mut self,
+        injections: &[Injection],
+        max_events_factor: usize,
+        detail: SnapshotDetail,
+    ) -> RoutingOutcome {
+        let _span = trackdown_obs::span("bgp.deploy");
+        self.deployments += 1;
+        let mut warm = self.deployed && self.warm_reuse && self.have_last_injections;
+        if self.deployed && !warm {
+            self.reset();
+        }
+        if warm {
+            self.sim.ensure_ranks();
+            self.sim.ranked = true;
+            self.sim.converged = true;
+            self.sim.begin_epoch();
+            let prev = std::mem::take(&mut self.last_injections);
+            let seeds = self.sim.replace_injections_delta(&prev, injections);
+            self.last_injections = prev;
+            self.sim.run(max_events_factor);
+            self.sim.ranked = false;
+            trackdown_obs::counter!("bgp.delta.seeds").add(seeds as u64);
+            trackdown_obs::counter!("bgp.delta.visited").add(self.sim.events as u64);
+            trackdown_obs::counter!("bgp.delta.disturbed").add(self.sim.routes_disturbed() as u64);
+        } else {
+            self.sim.apply_injections(injections);
+            self.deployed = true;
+            self.sim.run(max_events_factor);
+        }
+        if warm && !self.sim.converged {
+            // The delta transition hit the event cap: redo this
+            // configuration from empty RIBs so its outcome (including
+            // the converged flag) is exactly what a cold start reports.
+            self.cold_restarts += 1;
+            trackdown_obs::counter!("bgp.session_cold_restarts").inc();
+            warm = false;
+            self.reset();
+            self.sim.apply_injections(injections);
+            self.deployed = true;
+            self.sim.run(max_events_factor);
+        }
+        self.finish_deploy(injections, warm, detail)
+    }
+
+    /// Validate a configuration against the origin, build injections, and
+    /// [`CampaignSession::deploy_delta`] them.
+    pub fn deploy_config_delta(
+        &mut self,
+        origin: &OriginAs,
+        announcements: &[LinkAnnouncement],
+        max_events_factor: usize,
+    ) -> Result<RoutingOutcome, OriginError> {
+        self.deploy_config_delta_detailed(
+            origin,
+            announcements,
+            max_events_factor,
+            SnapshotDetail::Catchments,
+        )
+    }
+
+    /// [`CampaignSession::deploy_config_delta`] with an explicit snapshot
+    /// detail.
+    pub fn deploy_config_delta_detailed(
+        &mut self,
+        origin: &OriginAs,
+        announcements: &[LinkAnnouncement],
+        max_events_factor: usize,
+        detail: SnapshotDetail,
+    ) -> Result<RoutingOutcome, OriginError> {
+        let inj = origin.build_injections(self.sim.engine.topo, announcements)?;
+        Ok(self.deploy_delta_detailed(&inj, max_events_factor, detail))
     }
 
     /// Validate a configuration against the origin, build injections, and
@@ -591,6 +710,7 @@ impl<'e, 't> CampaignSession<'e, 't> {
     pub fn reset(&mut self) {
         self.sim.clear();
         self.deployed = false;
+        self.have_last_injections = false;
     }
 
     /// High-water mark of interned path nodes across all deployments.
@@ -643,12 +763,40 @@ struct Simulation<'e, 't> {
     best: Vec<Option<Route>>,
     queue: VecDeque<AsIndex>,
     in_queue: Vec<bool>,
+    /// Rank-ordered activation queue used instead of `queue` while
+    /// `ranked` is set (delta epochs): one bucket per customer-cone rank,
+    /// drained highest-rank-first, so announcement waves climb provider
+    /// chains to the core and then descend with every provider settled
+    /// before the customers that prefer its routes — see
+    /// [`PropagationRanks`]. Push and pop are O(1): ranks are bounded by
+    /// the provider-chain depth, so a binary heap's sift costs (and their
+    /// cache misses) buy nothing here.
+    buckets: Vec<VecDeque<u32>>,
+    /// Highest possibly-non-empty bucket; raised on push, walked down on
+    /// pop. Amortized O(1): each pop lowers it at most as far as pushes
+    /// raised it.
+    bucket_hi: usize,
+    /// ASes currently queued across all buckets.
+    bucket_len: usize,
+    /// Customer-cone ranks, computed lazily on the first delta epoch
+    /// (empty until then; the topology is immutable per engine).
+    ranks: Vec<u32>,
+    /// Whether `enqueue`/`pop_next` currently use the rank buckets.
+    ranked: bool,
     depth: Vec<u32>,
     pending_depth: Vec<u32>,
     max_depth: u32,
     changes: Vec<RouteChange>,
     events: usize,
     converged: bool,
+    /// `touched[i] == epoch_stamp` ⟺ AS `i`'s best route changed at least
+    /// once this epoch (its pre-epoch route is logged in `pre_epoch`).
+    touched: Vec<u32>,
+    epoch_stamp: u32,
+    /// First-touch log: each AS whose best changed this epoch, paired
+    /// with the route it held when the epoch began. Net disturbance is
+    /// the subset whose final best differs from that pre-epoch route.
+    pre_epoch: Vec<(AsIndex, Option<Route>)>,
 }
 
 impl<'e, 't> Simulation<'e, 't> {
@@ -663,12 +811,20 @@ impl<'e, 't> Simulation<'e, 't> {
             best: vec![None; n],
             queue: VecDeque::new(),
             in_queue: vec![false; n],
+            buckets: Vec::new(),
+            bucket_hi: 0,
+            bucket_len: 0,
+            ranks: Vec::new(),
+            ranked: false,
             depth: vec![0; n],
             pending_depth: vec![0; n],
             max_depth: 0,
             changes: Vec::new(),
             events: 0,
             converged: true,
+            touched: vec![0; n],
+            epoch_stamp: 1,
+            pre_epoch: Vec::new(),
         }
     }
 
@@ -688,46 +844,104 @@ impl<'e, 't> Simulation<'e, 't> {
         self.best.fill(None);
         self.queue.clear();
         self.in_queue.fill(false);
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.bucket_hi = 0;
+        self.bucket_len = 0;
+        self.ranked = false;
         self.depth.fill(0);
         self.pending_depth.fill(0);
         self.max_depth = 0;
         self.changes.clear();
         self.events = 0;
         self.converged = true;
+        self.bump_epoch_stamp();
+    }
+
+    /// Open a fresh disturbance-tracking window: the next first change of
+    /// any AS logs its current route as the pre-epoch state.
+    fn bump_epoch_stamp(&mut self) {
+        self.epoch_stamp = self.epoch_stamp.wrapping_add(1);
+        if self.epoch_stamp == 0 {
+            // Stamp wrap: invalidate every stale mark the slow way.
+            self.touched.fill(0);
+            self.epoch_stamp = 1;
+        }
+        self.pre_epoch.clear();
     }
 
     fn enqueue(&mut self, i: AsIndex) {
         if !self.in_queue[i.us()] {
             self.in_queue[i.us()] = true;
-            self.queue.push_back(i);
+            if self.ranked {
+                let r = self.ranks[i.us()] as usize;
+                self.buckets[r].push_back(i.0);
+                self.bucket_hi = self.bucket_hi.max(r);
+                self.bucket_len += 1;
+            } else {
+                self.queue.push_back(i);
+            }
         }
     }
 
-    /// Inject origin announcements at each PoP's provider. The provider
-    /// treats the origin as a customer.
-    fn apply_injections(&mut self, injections: &[Injection]) {
-        let engine = self.engine;
-        for inj in injections {
-            if !engine
-                .policy
-                .accepts(engine.topo, inj.provider, None, &inj.path)
-            {
-                continue; // provider itself poisoned, or tier-1 filter
+    fn pop_next(&mut self) -> Option<AsIndex> {
+        if self.ranked {
+            if self.bucket_len == 0 {
+                return None;
             }
-            let lp = engine
-                .policy
-                .local_pref(inj.provider, None, NeighborKind::Customer);
-            let path_id = self.arena.intern_path(&inj.path);
-            self.direct[inj.provider.us()].push(Route {
-                path_id,
-                path_len: inj.path.len() as u32,
-                ingress: inj.link,
-                from_neighbor: None,
-                local_pref: lp,
-                learned_from: NeighborKind::Customer,
-                communities: CommunityBits::from_set(&inj.communities),
-            });
-            self.enqueue(inj.provider);
+            loop {
+                if let Some(i) = self.buckets[self.bucket_hi].pop_front() {
+                    self.bucket_len -= 1;
+                    return Some(AsIndex(i));
+                }
+                self.bucket_hi -= 1;
+            }
+        } else {
+            self.queue.pop_front()
+        }
+    }
+
+    /// Compute [`PropagationRanks`] on first use (delta epochs only; FIFO
+    /// epochs never read them).
+    fn ensure_ranks(&mut self) {
+        if self.ranks.is_empty() && self.engine.topo.num_ases() > 0 {
+            let ranks = PropagationRanks::compute(self.engine.topo);
+            self.buckets = vec![VecDeque::new(); ranks.max_rank() as usize + 2];
+            self.ranks = ranks.into_vec();
+        }
+    }
+
+    /// Inject one origin announcement at its PoP's provider. The provider
+    /// treats the origin as a customer.
+    fn apply_injection(&mut self, inj: &Injection) {
+        let engine = self.engine;
+        if !engine
+            .policy
+            .accepts(engine.topo, inj.provider, None, &inj.path)
+        {
+            return; // provider itself poisoned, or tier-1 filter
+        }
+        let lp = engine
+            .policy
+            .local_pref(inj.provider, None, NeighborKind::Customer);
+        let path_id = self.arena.intern_path(&inj.path);
+        self.direct[inj.provider.us()].push(Route {
+            path_id,
+            path_len: inj.path.len() as u32,
+            ingress: inj.link,
+            from_neighbor: None,
+            local_pref: lp,
+            learned_from: NeighborKind::Customer,
+            communities: CommunityBits::from_set(&inj.communities),
+        });
+        self.enqueue(inj.provider);
+    }
+
+    /// Inject origin announcements at each PoP's provider.
+    fn apply_injections(&mut self, injections: &[Injection]) {
+        for inj in injections {
+            self.apply_injection(inj);
         }
     }
 
@@ -739,6 +953,7 @@ impl<'e, 't> Simulation<'e, 't> {
         self.max_depth = 0;
         self.changes.clear();
         self.events = 0;
+        self.bump_epoch_stamp();
     }
 
     /// Replace the origin's announcements: withdraw every current direct
@@ -755,12 +970,32 @@ impl<'e, 't> Simulation<'e, 't> {
         self.apply_injections(injections);
     }
 
+    /// Delta-epoch variant of [`Simulation::replace_injections`]: diff
+    /// the incoming injections against the previous epoch's and touch
+    /// only providers whose announcement changed — unchanged providers
+    /// keep their direct routes and are never activated, so a no-op
+    /// redeploy seeds nothing at all. Returns the number of seeded
+    /// providers.
+    fn replace_injections_delta(&mut self, prev: &[Injection], next: &[Injection]) -> usize {
+        let changed = diff_injections(prev, next);
+        for &p in &changed {
+            self.direct[p.us()].clear();
+            self.enqueue(p);
+        }
+        for inj in next {
+            if changed.contains(&inj.provider) {
+                self.apply_injection(inj);
+            }
+        }
+        changed.len()
+    }
+
     /// Process the activation queue to quiescence (or the event cap).
     fn run(&mut self, max_events_factor: usize) {
         let engine = self.engine;
         let n = engine.topo.num_ases();
         let cap = max_events_factor.saturating_mul(n.max(1));
-        while let Some(i) = self.queue.pop_front() {
+        while let Some(i) = self.pop_next() {
             self.in_queue[i.us()] = false;
             self.events += 1;
             if self.events > cap {
@@ -770,6 +1005,10 @@ impl<'e, 't> Simulation<'e, 't> {
             let new_best = engine.decide(i, &self.direct[i.us()], &self.ribs[i.us()]);
             if new_best == self.best[i.us()] {
                 continue;
+            }
+            if self.touched[i.us()] != self.epoch_stamp {
+                self.touched[i.us()] = self.epoch_stamp;
+                self.pre_epoch.push((i, self.best[i.us()]));
             }
             self.best[i.us()] = new_best;
             self.depth[i.us()] = self.pending_depth[i.us()];
@@ -833,10 +1072,32 @@ impl<'e, 't> Simulation<'e, 't> {
                 };
                 let pos = engine.neighbor_pos(j, i).expect("adjacency is symmetric");
                 if self.ribs[j.us()][pos] != offer {
+                    // Delta epochs terminate at ASes whose best route is
+                    // provably unchanged: if the rewritten slot is not the
+                    // source of j's current best and the new offer is not
+                    // strictly better than that best, j's decision cannot
+                    // move ([`BgpEngine::better`] is a strict total order
+                    // across routes from distinct neighbors, so ties are
+                    // impossible here). The slot still updates, so a later
+                    // full decide at j sees the new candidate. An unqueued
+                    // AS always has a settled best (updates that bypass the
+                    // queue are exactly the ones that cannot change it), so
+                    // comparing against `best[j]` is sound.
+                    let relevant = !self.ranked
+                        || self.in_queue[j.us()]
+                        || match &self.best[j.us()] {
+                            Some(b) => {
+                                b.from_neighbor == Some(i)
+                                    || offer.as_ref().is_some_and(|o| engine.better(j, o, b))
+                            }
+                            None => true,
+                        };
                     self.ribs[j.us()][pos] = offer;
-                    self.pending_depth[j.us()] =
-                        self.pending_depth[j.us()].max(self.depth[i.us()] + 1);
-                    self.enqueue(j);
+                    if relevant {
+                        self.pending_depth[j.us()] =
+                            self.pending_depth[j.us()].max(self.depth[i.us()] + 1);
+                        self.enqueue(j);
+                    }
                 }
             }
         }
@@ -855,8 +1116,22 @@ impl<'e, 't> Simulation<'e, 't> {
             .collect()
     }
 
+    /// Net disturbance of the current epoch: ASes whose best route
+    /// differs from the route they held when the epoch began (transient
+    /// flips that settled back are excluded). Route equality compares
+    /// `path_id`s, which is sound within one simulation lifetime — the
+    /// arena is canonical and only truncated by [`Simulation::clear`],
+    /// which also opens a fresh tracking window.
+    fn routes_disturbed(&self) -> usize {
+        self.pre_epoch
+            .iter()
+            .filter(|(i, pre)| self.best[i.us()] != *pre)
+            .count()
+    }
+
     /// Snapshot the converged state into a [`RoutingOutcome`].
     fn snapshot(self, detail: SnapshotDetail) -> RoutingOutcome {
+        let routes_disturbed = self.routes_disturbed();
         let (candidates, paths) = match detail {
             SnapshotDetail::Catchments => (None, PathStore::default()),
             SnapshotDetail::Full => (Some(self.capture_candidates()), self.arena.store()),
@@ -869,6 +1144,7 @@ impl<'e, 't> Simulation<'e, 't> {
             rounds: self.max_depth,
             changes: self.changes,
             converged: self.converged,
+            routes_disturbed,
         }
     }
 
@@ -889,6 +1165,7 @@ impl<'e, 't> Simulation<'e, 't> {
             rounds: self.max_depth,
             changes: self.changes.clone(),
             converged: self.converged,
+            routes_disturbed: self.routes_disturbed(),
         }
     }
 }

@@ -35,6 +35,7 @@
 pub mod arena;
 pub mod catchment;
 pub mod community;
+pub mod delta;
 pub mod engine;
 pub mod origin;
 pub mod policy;
@@ -43,6 +44,7 @@ pub mod route;
 pub use arena::{PathArena, PathId, PathStore};
 pub use catchment::{Catchments, ShardCatchments};
 pub use community::{Community, CommunityBits, CommunitySet};
+pub use delta::{diff_injections, PropagationRanks};
 pub use engine::{
     BgpEngine, CampaignSession, EngineConfig, ForwardingPath, ForwardingWalker, RouteChange,
     RoutingOutcome, SnapshotDetail,

@@ -44,6 +44,16 @@ pub enum CampaignMode {
     /// schedule order — the original executor, kept as the oracle the
     /// differential tests compare against.
     Cold,
+    /// Delta propagation: like [`CampaignMode::Warm`] (same deployment
+    /// order, memo cache, and violator gate), but each epoch transition
+    /// diffs the incoming announcement against the previous one, seeds
+    /// only providers whose injection changed, and propagates with
+    /// rank-ordered scheduling — epoch cost tracks routes actually
+    /// disturbed instead of topology size. Control-plane catchments are
+    /// patched incrementally from the epoch's change log. Results are
+    /// identical to `Warm` and `Cold` (the three-way differential suite
+    /// in `tests/delta_differential.rs` is the proof obligation).
+    Delta,
 }
 
 /// Executor counters reported alongside a [`Campaign`].
@@ -72,6 +82,15 @@ pub struct CampaignStats {
     /// this stays close to `peak_arena_nodes` rather than growing with
     /// the worker count — the memory bound DESIGN.md §4f relies on.
     pub merged_arena_nodes: usize,
+    /// Sum over deployed epochs of the ASes whose best route differs from
+    /// the previous epoch's fixpoint (memo hits contribute 0) — the
+    /// workload [`CampaignMode::Delta`] makes epoch cost proportional to.
+    pub routes_disturbed: usize,
+    /// Total propagation events (per-AS decide/export activations) across
+    /// every deployed epoch. Deterministic for a fixed scenario and mode,
+    /// so warm/delta event ratios are comparable across machines — the
+    /// work-unit metric the bench snapshot's `delta_speedup` reports.
+    pub events: usize,
 }
 
 impl Default for CampaignStats {
@@ -85,6 +104,8 @@ impl Default for CampaignStats {
             peak_arena_nodes: 0,
             shards: 1,
             merged_arena_nodes: 0,
+            routes_disturbed: 0,
+            events: 0,
         }
     }
 }
@@ -373,7 +394,7 @@ pub fn run_campaign_recorded(
     let mut converged_by_k: Vec<Option<bool>> = vec![None; n];
     let mut measured_by_k: Vec<Option<MeasuredCatchments>> = (0..n).map(|_| None).collect();
     let order = match mode {
-        CampaignMode::Warm => warm_start_order(configs),
+        CampaignMode::Warm | CampaignMode::Delta => warm_start_order(configs),
         CampaignMode::Cold => (0..n).collect(),
     };
     let mut session = engine.session();
@@ -382,13 +403,18 @@ pub fn run_campaign_recorded(
         mode,
         ..CampaignStats::default()
     };
+    // Delta mode patches control-plane catchments from the epoch change
+    // log instead of re-extracting: index of the last *deployed* (not
+    // memo-replayed) epoch whose catchments can serve as the patch base.
+    let mut last_deployed: Option<usize> = None;
     for &k in &order {
         let cfg = &configs[k];
         cfg.validate(origin).expect("invalid configuration");
         let memo_key = match (mode, source) {
-            (CampaignMode::Warm, CatchmentSource::ControlPlane | CatchmentSource::DataPlane) => {
-                Some(cfg.footprint_key())
-            }
+            (
+                CampaignMode::Warm | CampaignMode::Delta,
+                CatchmentSource::ControlPlane | CatchmentSource::DataPlane,
+            ) => Some(cfg.footprint_key()),
             _ => None,
         };
         if let Some(key) = &memo_key {
@@ -405,6 +431,7 @@ pub fn run_campaign_recorded(
                         events: 0,
                         rounds: 0,
                         changes: 0,
+                        routes_disturbed: 0,
                         converged: converged_by_k[k].expect("memo entry deployed"),
                         wall_us: None,
                     });
@@ -426,6 +453,12 @@ pub fn run_campaign_recorded(
                 max_events_factor,
                 detail,
             ),
+            CampaignMode::Delta => session.deploy_config_delta_detailed(
+                origin,
+                &cfg.to_link_announcements(),
+                max_events_factor,
+                detail,
+            ),
             CampaignMode::Cold => engine.propagate_config_detailed(
                 origin,
                 &cfg.to_link_announcements(),
@@ -437,6 +470,7 @@ pub fn run_campaign_recorded(
         if let Some(rec) = recorder {
             let epoch_mode = match mode {
                 CampaignMode::Warm if session.last_deploy_warm() => EpochMode::Warm,
+                CampaignMode::Delta if session.last_deploy_warm() => EpochMode::Delta,
                 _ => EpochMode::Cold,
             };
             rec.record(EpochRecord {
@@ -447,18 +481,46 @@ pub fn run_campaign_recorded(
                 events: outcome.events,
                 rounds: outcome.rounds,
                 changes: outcome.changes.len(),
+                routes_disturbed: outcome.routes_disturbed,
                 converged: outcome.converged,
                 wall_us: rec.elapsed_us(timer),
             });
         }
         stats.propagations += 1;
+        stats.routes_disturbed += outcome.routes_disturbed;
+        stats.events += outcome.events;
         converged_by_k[k] = Some(outcome.converged);
         match source {
             CatchmentSource::Measured => {
                 let plane = plane.expect("Measured campaigns need a MeasurementPlane");
                 measured_by_k[k] = Some(plane.measure(topo, &outcome, origin.asn, k as u64));
             }
-            _ => catchments_by_k[k] = Some(extract_catchments(source, &outcome)),
+            _ => {
+                // A delta epoch's change log lists exactly the ASes whose
+                // best route moved, so the previous control-plane
+                // catchments patch forward in O(changes). Data-plane
+                // catchments still need a full walk: a hop change can
+                // reroute sources whose own best route is untouched.
+                let patched = if mode == CampaignMode::Delta
+                    && source == CatchmentSource::ControlPlane
+                    && session.last_deploy_warm()
+                {
+                    last_deployed.map(|j| {
+                        let mut c = catchments_by_k[j]
+                            .clone()
+                            .expect("deployed epoch extracted");
+                        for ch in &outcome.changes {
+                            c.set(ch.at, ch.ingress);
+                        }
+                        c
+                    })
+                } else {
+                    None
+                };
+                catchments_by_k[k] =
+                    Some(patched.unwrap_or_else(|| extract_catchments(source, &outcome)));
+                last_deployed = Some(k);
+            }
         }
         if let Some(key) = memo_key {
             memo.insert(key, k);
@@ -599,7 +661,7 @@ pub fn run_campaign_parallel_recorded(
             let base = t * chunk_size;
             handles.push(scope.spawn(move || {
                 let order: Vec<usize> = match mode {
-                    CampaignMode::Warm => warm_start_order(chunk),
+                    CampaignMode::Warm | CampaignMode::Delta => warm_start_order(chunk),
                     CampaignMode::Cold => (0..chunk.len()).collect(),
                 };
                 let mut session = engine.session();
@@ -607,10 +669,15 @@ pub fn run_campaign_parallel_recorded(
                 let mut local: Vec<Option<(Catchments, bool)>> = vec![None; chunk.len()];
                 let mut propagations = 0usize;
                 let mut memo_hits = 0usize;
+                let mut disturbed = 0usize;
+                let mut events = 0usize;
+                // Patch base for delta control-plane extraction: the last
+                // epoch this worker actually deployed (memo hits replay).
+                let mut last_deployed: Option<usize> = None;
                 for &off in &order {
                     let cfg = &chunk[off];
                     cfg.validate(origin).expect("invalid configuration");
-                    if mode == CampaignMode::Warm {
+                    if matches!(mode, CampaignMode::Warm | CampaignMode::Delta) {
                         let key = cfg.footprint_key();
                         if let Some(&j) = memo.get(&key) {
                             memo_hits += 1;
@@ -624,6 +691,7 @@ pub fn run_campaign_parallel_recorded(
                                     events: 0,
                                     rounds: 0,
                                     changes: 0,
+                                    routes_disturbed: 0,
                                     converged: local[off].as_ref().expect("memo entry deployed").1,
                                     wall_us: None,
                                 });
@@ -639,6 +707,11 @@ pub fn run_campaign_parallel_recorded(
                             &cfg.to_link_announcements(),
                             max_events_factor,
                         ),
+                        CampaignMode::Delta => session.deploy_config_delta(
+                            origin,
+                            &cfg.to_link_announcements(),
+                            max_events_factor,
+                        ),
                         CampaignMode::Cold => engine.propagate_config(
                             origin,
                             &cfg.to_link_announcements(),
@@ -649,6 +722,7 @@ pub fn run_campaign_parallel_recorded(
                     if let Some(rec) = recorder {
                         let epoch_mode = match mode {
                             CampaignMode::Warm if session.last_deploy_warm() => EpochMode::Warm,
+                            CampaignMode::Delta if session.last_deploy_warm() => EpochMode::Delta,
                             _ => EpochMode::Cold,
                         };
                         rec.record(EpochRecord {
@@ -659,31 +733,66 @@ pub fn run_campaign_parallel_recorded(
                             events: outcome.events,
                             rounds: outcome.rounds,
                             changes: outcome.changes.len(),
+                            routes_disturbed: outcome.routes_disturbed,
                             converged: outcome.converged,
                             wall_us: rec.elapsed_us(timer),
                         });
                     }
                     propagations += 1;
-                    local[off] = Some((extract_catchments(source, &outcome), outcome.converged));
+                    disturbed += outcome.routes_disturbed;
+                    events += outcome.events;
+                    // Same incremental patch as the sequential executor:
+                    // the change log is exactly the set of moved routes.
+                    let patched = if mode == CampaignMode::Delta
+                        && source == CatchmentSource::ControlPlane
+                        && session.last_deploy_warm()
+                    {
+                        last_deployed.map(|j| {
+                            let mut c = local[j].clone().expect("deployed epoch extracted").0;
+                            for ch in &outcome.changes {
+                                c.set(ch.at, ch.ingress);
+                            }
+                            c
+                        })
+                    } else {
+                        None
+                    };
+                    local[off] = Some((
+                        patched.unwrap_or_else(|| extract_catchments(source, &outcome)),
+                        outcome.converged,
+                    ));
+                    last_deployed = Some(off);
                 }
                 (
                     base,
                     local,
                     propagations,
                     memo_hits,
+                    disturbed,
+                    events,
                     session.cold_restarts(),
                     session.peak_arena_nodes(),
                 )
             }));
         }
         for h in handles {
-            let (base, local, propagations, memo_hits, cold_restarts, peak_arena) =
-                h.join().expect("worker panicked");
+            let (
+                base,
+                local,
+                propagations,
+                memo_hits,
+                disturbed,
+                events,
+                cold_restarts,
+                peak_arena,
+            ) = h.join().expect("worker panicked");
             for (off, r) in local.into_iter().enumerate() {
                 results[base + off] = r;
             }
             stats.propagations += propagations;
             stats.memo_hits += memo_hits;
+            stats.routes_disturbed += disturbed;
+            stats.events += events;
             stats.cold_restarts += cold_restarts;
             // Per-worker arenas: the campaign's footprint is the largest
             // single arena, not the sum.
@@ -915,7 +1024,7 @@ pub fn run_campaign_sharded_recorded(
             let (queue, producers, steal_one) = (&queue, &producers, &steal_one);
             handles.push(scope.spawn(move || {
                 let order: Vec<usize> = match mode {
-                    CampaignMode::Warm => warm_start_order(chunk),
+                    CampaignMode::Warm | CampaignMode::Delta => warm_start_order(chunk),
                     CampaignMode::Cold => (0..chunk.len()).collect(),
                 };
                 let mut session = engine.session();
@@ -924,10 +1033,12 @@ pub fn run_campaign_sharded_recorded(
                 let mut pairs: Vec<(usize, usize)> = Vec::new();
                 let mut propagations = 0usize;
                 let mut memo_hits = 0usize;
+                let mut disturbed = 0usize;
+                let mut events = 0usize;
                 for &off in &order {
                     let cfg = &chunk[off];
                     cfg.validate(origin).expect("invalid configuration");
-                    if mode == CampaignMode::Warm {
+                    if matches!(mode, CampaignMode::Warm | CampaignMode::Delta) {
                         let key = cfg.footprint_key();
                         if let Some(&j) = memo.get(&key) {
                             memo_hits += 1;
@@ -944,6 +1055,7 @@ pub fn run_campaign_sharded_recorded(
                                     events: 0,
                                     rounds: 0,
                                     changes: 0,
+                                    routes_disturbed: 0,
                                     converged: converged[off].expect("memo entry deployed"),
                                     wall_us: None,
                                 });
@@ -959,6 +1071,11 @@ pub fn run_campaign_sharded_recorded(
                             &cfg.to_link_announcements(),
                             max_events_factor,
                         ),
+                        CampaignMode::Delta => session.deploy_config_delta(
+                            origin,
+                            &cfg.to_link_announcements(),
+                            max_events_factor,
+                        ),
                         CampaignMode::Cold => engine.propagate_config(
                             origin,
                             &cfg.to_link_announcements(),
@@ -969,6 +1086,7 @@ pub fn run_campaign_sharded_recorded(
                     if let Some(rec) = recorder {
                         let epoch_mode = match mode {
                             CampaignMode::Warm if session.last_deploy_warm() => EpochMode::Warm,
+                            CampaignMode::Delta if session.last_deploy_warm() => EpochMode::Delta,
                             _ => EpochMode::Cold,
                         };
                         rec.record(EpochRecord {
@@ -979,11 +1097,14 @@ pub fn run_campaign_sharded_recorded(
                             events: outcome.events,
                             rounds: outcome.rounds,
                             changes: outcome.changes.len(),
+                            routes_disturbed: outcome.routes_disturbed,
                             converged: outcome.converged,
                             wall_us: rec.elapsed_us(timer),
                         });
                     }
                     propagations += 1;
+                    disturbed += outcome.routes_disturbed;
+                    events += outcome.events;
                     converged[off] = Some(outcome.converged);
                     let outcome = Arc::new(outcome);
                     {
@@ -1018,7 +1139,7 @@ pub fn run_campaign_sharded_recorded(
                     converged,
                     pairs,
                     propagations,
-                    memo_hits,
+                    (memo_hits, disturbed, events),
                     session.cold_restarts(),
                     session.peak_arena_nodes(),
                     session.path_store(),
@@ -1026,14 +1147,16 @@ pub fn run_campaign_sharded_recorded(
             }));
         }
         for h in handles {
-            let (base, converged, pairs, propagations, memo_hits, cold_restarts, peak, store) =
+            let (base, converged, pairs, propagations, counts, cold_restarts, peak, store) =
                 h.join().expect("worker panicked");
             for (off, c) in converged.into_iter().enumerate() {
                 converged_by_k[base + off] = c;
             }
             memo_pairs.extend(pairs);
             stats.propagations += propagations;
-            stats.memo_hits += memo_hits;
+            stats.memo_hits += counts.0;
+            stats.routes_disturbed += counts.1;
+            stats.events += counts.2;
             stats.cold_restarts += cold_restarts;
             stats.peak_arena_nodes = stats.peak_arena_nodes.max(peak);
             // Canonical-interning merge: shared path prefixes across

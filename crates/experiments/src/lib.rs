@@ -92,6 +92,11 @@ pub struct Options {
     /// Cold-start every configuration from scratch instead of the default
     /// warm-start epoch reuse. Slower; kept as the reference oracle.
     pub cold: bool,
+    /// Delta-propagate epoch transitions: diff each configuration against
+    /// the previous one, seed only changed providers, and schedule the
+    /// queue in customer-cone rank order. Identical results to warm/cold
+    /// (enforced by `tests/delta_differential.rs`), least work per epoch.
+    pub delta: bool,
     /// Catchment-extraction shards per configuration (`--shards`, default
     /// 1). Shards split each fixpoint's extraction into AS-index ranges
     /// processed as a work-stealing batch; results are identical for every
@@ -112,6 +117,7 @@ impl Default for Options {
             seed: 0x5eed_0001,
             measured: false,
             cold: false,
+            delta: false,
             shards: 1,
             metrics_out: None,
             metrics_deterministic: false,
@@ -144,6 +150,7 @@ impl Options {
                 }
                 "--measured" => opts.measured = true,
                 "--cold" => opts.cold = true,
+                "--delta" => opts.delta = true,
                 "--shards" => {
                     i += 1;
                     opts.shards = args
@@ -174,7 +181,7 @@ impl Options {
 fn usage() -> ! {
     eprintln!(
         "usage: <experiment> [--scale small|medium|full|large] [--seed <u64>] [--measured] \
-         [--cold] [--shards <n>] [--metrics-out FILE] [--metrics-deterministic]"
+         [--cold] [--delta] [--shards <n>] [--metrics-out FILE] [--metrics-deterministic]"
     );
     std::process::exit(2)
 }
@@ -211,6 +218,8 @@ pub struct Scenario {
     pub measured: bool,
     /// Whether campaigns cold-start every configuration (reference oracle).
     pub cold: bool,
+    /// Whether campaigns delta-propagate epoch transitions.
+    pub delta: bool,
     /// Catchment-extraction shards per configuration.
     pub shards: usize,
     /// Run-manifest output path ([`Scenario::run`] writes it when set).
@@ -277,6 +286,7 @@ impl Scenario {
             seed: opts.seed,
             measured: opts.measured,
             cold: opts.cold,
+            delta: opts.delta,
             shards: opts.shards,
             metrics_out: opts.metrics_out,
             metrics_deterministic: opts.metrics_deterministic,
@@ -327,6 +337,8 @@ impl Scenario {
         let schedule = self.schedule();
         let mode = if self.cold {
             CampaignMode::Cold
+        } else if self.delta {
+            CampaignMode::Delta
         } else {
             CampaignMode::Warm
         };
@@ -374,7 +386,14 @@ impl Scenario {
             seed: self.seed,
             policy_seed: self.engine_cfg.policy.seed,
             scale: self.scale.label().into(),
-            mode: if self.cold { "cold" } else { "warm" }.into(),
+            mode: if self.cold {
+                "cold"
+            } else if self.delta {
+                "delta"
+            } else {
+                "warm"
+            }
+            .into(),
             threads: campaign.stats.threads,
             shards: campaign.stats.shards,
             schedule_len: campaign.configs.len(),
@@ -410,7 +429,8 @@ impl Scenario {
             origin = self.origin.asn,
             pops = self.origin.num_links(),
             measured = self.measured,
-            cold = self.cold
+            cold = self.cold,
+            delta = self.delta
         );
     }
 

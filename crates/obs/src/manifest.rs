@@ -21,7 +21,12 @@ use std::time::Instant;
 /// changing any result, so deterministic manifests omit the field the
 /// same way epoch lines omit `wall_us`, keeping them byte-identical
 /// across `--shards`).
-pub const MANIFEST_SCHEMA_VERSION: u64 = 2;
+///
+/// Version 3 added the `delta` epoch mode and the per-epoch
+/// `routes_disturbed` field (net best-route disturbance vs the previous
+/// epoch's fixpoint — the workload delta propagation is proportional to;
+/// 0 for memo hits, reachable-count for cold starts).
+pub const MANIFEST_SCHEMA_VERSION: u64 = 3;
 
 /// Run-level header describing the whole campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +59,9 @@ pub struct RunInfo {
 pub enum EpochMode {
     /// Epoch transition reusing the previous converged state.
     Warm,
+    /// Delta epoch transition: injection diff seeding + rank-ordered
+    /// propagation from the previous converged state.
+    Delta,
     /// Cold start from empty RIBs (includes warm-executor first
     /// deployments, violator-gate cold starts, and `Cold` campaigns).
     Cold,
@@ -66,6 +74,7 @@ impl EpochMode {
     pub fn as_str(&self) -> &'static str {
         match self {
             EpochMode::Warm => "warm",
+            EpochMode::Delta => "delta",
             EpochMode::Cold => "cold",
             EpochMode::Memo => "memo",
         }
@@ -89,6 +98,9 @@ pub struct EpochRecord {
     pub rounds: u32,
     /// Best-route changes during the epoch.
     pub changes: usize,
+    /// ASes whose best route at this epoch's fixpoint differs from the
+    /// previous fixpoint (net disturbance; 0 for memo hits).
+    pub routes_disturbed: usize,
     /// Whether the epoch converged within the event cap.
     pub converged: bool,
     /// Wall time of the deployment in microseconds (`None` in
@@ -201,6 +213,7 @@ pub fn render_manifest(
             ("events", Value::U64(r.events as u64)),
             ("rounds", Value::U64(r.rounds as u64)),
             ("changes", Value::U64(r.changes as u64)),
+            ("routes_disturbed", Value::U64(r.routes_disturbed as u64)),
             ("converged", Value::Bool(r.converged)),
         ];
         if !run.deterministic {
@@ -247,6 +260,8 @@ pub struct ManifestSummary {
     pub epochs: usize,
     /// Epochs deployed as warm transitions.
     pub warm: usize,
+    /// Epochs deployed as delta transitions.
+    pub delta: usize,
     /// Epochs deployed as cold starts.
     pub cold: usize,
     /// Epochs served from the memo cache.
@@ -278,6 +293,7 @@ const EPOCH_KEYS: &[&str] = &[
     "events",
     "rounds",
     "changes",
+    "routes_disturbed",
     "converged",
 ];
 const METRICS_KEYS: &[&str] = &["record", "counters", "gauges", "histograms"];
@@ -322,8 +338,8 @@ fn get_bool(line: usize, obj: &[(String, Value)], key: &str) -> Result<bool, Str
 
 /// Validate a manifest against the schema: exact key sets per record
 /// kind, a `run` header first, exactly one `epoch` line per schedule
-/// index (each index exactly once), modes from the `warm|cold|memo`
-/// vocabulary, and — when the run declares deterministic mode — no
+/// index (each index exactly once), modes from the
+/// `warm|delta|cold|memo` vocabulary, and — when the run declares deterministic mode — no
 /// `wall_us` anywhere and no `time.*` histograms.
 pub fn validate_manifest(text: &str) -> Result<ManifestSummary, String> {
     let mut lines = Vec::new();
@@ -372,6 +388,7 @@ pub fn validate_manifest(text: &str) -> Result<ManifestSummary, String> {
         schedule_len,
         epochs: 0,
         warm: 0,
+        delta: 0,
         cold: 0,
         memo: 0,
         deterministic,
@@ -406,6 +423,7 @@ pub fn validate_manifest(text: &str) -> Result<ManifestSummary, String> {
                 summary.epochs += 1;
                 match get_str(*no, record, "mode")? {
                     "warm" => summary.warm += 1,
+                    "delta" => summary.delta += 1,
                     "cold" => summary.cold += 1,
                     "memo" => summary.memo += 1,
                     other => return Err(format!("line {no}: unknown epoch mode {other:?}")),
@@ -415,6 +433,7 @@ pub fn validate_manifest(text: &str) -> Result<ManifestSummary, String> {
                 get_u64(*no, record, "events")?;
                 get_u64(*no, record, "rounds")?;
                 get_u64(*no, record, "changes")?;
+                get_u64(*no, record, "routes_disturbed")?;
                 get_bool(*no, record, "converged")?;
             }
             "metrics" => {
@@ -475,6 +494,7 @@ mod tests {
                 events: 10,
                 rounds: 3,
                 changes: 5,
+                routes_disturbed: 5,
                 converged: true,
                 wall_us: wall,
             },
@@ -486,6 +506,7 @@ mod tests {
                 events: 4,
                 rounds: 1,
                 changes: 2,
+                routes_disturbed: 2,
                 converged: true,
                 wall_us: wall,
             },
@@ -539,6 +560,18 @@ mod tests {
         assert_eq!(sorted[0].epoch, 0);
         assert_eq!(sorted[1].epoch, 1);
         assert!(rec.take_records().is_empty());
+    }
+
+    #[test]
+    fn delta_epochs_validate_and_count() {
+        let mut recs = records(None);
+        recs[1].mode = EpochMode::Delta;
+        let text = render_manifest(&run_info(true), &recs, None);
+        let s = validate_manifest(&text).expect("valid delta manifest");
+        assert_eq!(s.delta, 1);
+        assert_eq!(s.warm, 0);
+        assert!(text.contains("\"mode\":\"delta\""));
+        assert!(text.contains("\"routes_disturbed\":2"));
     }
 
     #[test]

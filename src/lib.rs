@@ -50,8 +50,9 @@ pub use trackdown_traffic as traffic;
 /// The names most programs using the stack need.
 pub mod prelude {
     pub use trackdown_bgp::{
-        BgpEngine, Catchments, Community, CommunitySet, EngineConfig, LinkAnnouncement, LinkId,
-        OriginAs, PolicyConfig, Prefix, RouteChange, RoutingOutcome, SnapshotDetail,
+        diff_injections, BgpEngine, CampaignSession, Catchments, Community, CommunitySet,
+        EngineConfig, LinkAnnouncement, LinkId, OriginAs, PolicyConfig, Prefix, PropagationRanks,
+        RouteChange, RoutingOutcome, SnapshotDetail,
     };
     pub use trackdown_core::generator::{full_schedule, GeneratorParams};
     pub use trackdown_core::localize::{

@@ -1,0 +1,285 @@
+//! Three-way differential suite: the delta propagation engine must be
+//! indistinguishable — catchments, tracked set, clustering, per-config
+//! records, suspect rankings — from both the warm-start executor and the
+//! cold-start oracle, across thread counts and adversarial deployment
+//! orders.
+//!
+//! Delta epochs change two things at once relative to warm epochs: the
+//! seed set (injection diffing skips unchanged providers) and the
+//! activation order (customer-cone rank scheduling instead of FIFO).
+//! On Gao-Rexford-conformant engines the fixpoint is unique, so any
+//! divergence is a delta bug — a stale direct route surviving a diff, a
+//! rank tie processed inconsistently, a withdrawal cascade terminated
+//! early. The adversarial cases below (poison-then-unpoison flips,
+//! footprint-distance-*maximizing* schedules) drive exactly the
+//! withdrawal-heavy transitions where such bugs would surface.
+
+use proptest::prelude::*;
+use trackdown_suite::core::localize::{run_campaign_parallel_mode, run_campaign_sharded_mode};
+use trackdown_suite::core::schedule::footprint_distance;
+use trackdown_suite::prelude::*;
+
+/// Engine config with the violator knob explicit: `clean` engines have
+/// unique fixpoints (true delta reuse); default engines keep the 8%
+/// violator population and exercise the session's cold-start guard.
+fn engine_config(clean: bool) -> EngineConfig {
+    if clean {
+        EngineConfig {
+            policy: PolicyConfig {
+                violator_fraction: 0.0,
+                ..PolicyConfig::default()
+            },
+            ..EngineConfig::default()
+        }
+    } else {
+        EngineConfig::default()
+    }
+}
+
+/// A small synthetic Internet, a multi-PoP origin, and a (possibly
+/// truncated) three-phase schedule.
+fn scenario(
+    seed: u64,
+    pops: usize,
+    max_removals: usize,
+    max_poison: usize,
+) -> (GeneratedTopology, OriginAs, Vec<AnnouncementConfig>) {
+    let world = generate(&TopologyConfig::small(seed));
+    let origin = OriginAs::peering_style(&world, pops);
+    let schedule = full_schedule(
+        &world.topology,
+        &origin,
+        &GeneratorParams {
+            max_removals,
+            max_poison_configs: Some(max_poison),
+        },
+    );
+    (world, origin, schedule)
+}
+
+/// The full equality obligation between two campaigns. Stats are exempt
+/// by design (they describe *how* the executor ran, not what it found).
+macro_rules! assert_campaigns_identical {
+    ($a:expr, $b:expr) => {
+        prop_assert_eq!(&$a.configs, &$b.configs);
+        prop_assert_eq!(&$a.catchments, &$b.catchments);
+        prop_assert_eq!(&$a.tracked, &$b.tracked);
+        prop_assert_eq!($a.clustering.clusters(), $b.clustering.clusters());
+        prop_assert_eq!(&$a.records, &$b.records);
+        prop_assert_eq!($a.imputation, $b.imputation);
+    };
+}
+
+/// Per-epoch oracle comparison for session-driven tests: the delta
+/// session outcome must match a cold propagation of the same
+/// configuration, in both catchment planes.
+fn assert_outcome_matches_cold(
+    engine: &BgpEngine<'_>,
+    origin: &OriginAs,
+    cfg: &AnnouncementConfig,
+    delta: &RoutingOutcome,
+) {
+    let cold = engine
+        .propagate_config(origin, &cfg.to_link_announcements(), 200)
+        .expect("valid configuration");
+    assert_eq!(delta.converged, cold.converged);
+    assert_eq!(
+        Catchments::from_control_plane(delta),
+        Catchments::from_control_plane(&cold)
+    );
+    assert_eq!(
+        Catchments::from_data_plane(delta),
+        Catchments::from_data_plane(&cold)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The three-way oracle: Delta == Warm == Cold through the sequential
+    // executor, all the way to suspect ranking, over both catchment
+    // sources and both policy regimes.
+    #[test]
+    fn delta_equals_warm_equals_cold(
+        seed in 0u64..500,
+        pops in 3usize..6,
+        max_removals in 0usize..3,
+        max_poison in 4usize..12,
+        data_plane in 0u8..2,
+        clean in 0u8..2,
+    ) {
+        let (world, origin, schedule) = scenario(seed, pops, max_removals, max_poison);
+        let engine = BgpEngine::new(&world.topology, &engine_config(clean == 1));
+        let source = if data_plane == 1 {
+            CatchmentSource::DataPlane
+        } else {
+            CatchmentSource::ControlPlane
+        };
+        let delta = run_campaign_mode(
+            &engine, &origin, &schedule, source, None, 200, CampaignMode::Delta);
+        let warm = run_campaign_mode(
+            &engine, &origin, &schedule, source, None, 200, CampaignMode::Warm);
+        let cold = run_campaign_mode(
+            &engine, &origin, &schedule, source, None, 200, CampaignMode::Cold);
+        assert_campaigns_identical!(delta, warm);
+        assert_campaigns_identical!(delta, cold);
+        // Suspect rankings must survive the full attribution pipeline.
+        let volume: Vec<u64> = (0..world.topology.num_ases() as u64)
+            .map(|i| 1 + i % 5)
+            .collect();
+        let dv = link_volume_matrix(&delta, &volume, origin.num_links());
+        let cv = link_volume_matrix(&cold, &volume, origin.num_links());
+        prop_assert_eq!(rank_suspects(&delta, &dv), rank_suspects(&cold, &cv));
+        prop_assert_eq!(delta.stats.mode, CampaignMode::Delta);
+        prop_assert_eq!(
+            delta.stats.propagations + delta.stats.memo_hits,
+            schedule.len()
+        );
+    }
+
+    // Delta through the parallel and sharded executors vs the sequential
+    // cold oracle, across the 1/2/8 thread counts the manifests promise
+    // invariance over.
+    #[test]
+    fn delta_is_thread_and_shard_invariant(
+        seed in 0u64..300,
+        max_poison in 4usize..10,
+        data_plane in 0u8..2,
+        clean in 0u8..2,
+    ) {
+        let (world, origin, schedule) = scenario(seed, 4, 1, max_poison);
+        let engine = BgpEngine::new(&world.topology, &engine_config(clean == 1));
+        let source = if data_plane == 1 {
+            CatchmentSource::DataPlane
+        } else {
+            CatchmentSource::ControlPlane
+        };
+        let volume: Vec<u64> = (0..world.topology.num_ases() as u64)
+            .map(|i| 1 + i % 7)
+            .collect();
+        let cold = run_campaign_mode(
+            &engine, &origin, &schedule, source, None, 200, CampaignMode::Cold);
+        let cold_vols = link_volume_matrix(&cold, &volume, origin.num_links());
+        let cold_rank = rank_suspects(&cold, &cold_vols);
+        for threads in [1usize, 2, 8] {
+            let par = run_campaign_parallel_mode(
+                &engine, &origin, &schedule, source, 200, threads, CampaignMode::Delta);
+            assert_campaigns_identical!(par, cold);
+            let vols = link_volume_matrix(&par, &volume, origin.num_links());
+            prop_assert_eq!(rank_suspects(&par, &vols), cold_rank.clone());
+            let sharded = run_campaign_sharded_mode(
+                &engine, &origin, &schedule, source, 200, threads, 4, CampaignMode::Delta);
+            assert_campaigns_identical!(sharded, cold);
+            prop_assert_eq!(sharded.stats.mode, CampaignMode::Delta);
+        }
+    }
+
+    // Adversarial ordering 1: poison-then-unpoison flips, driven through
+    // the session directly (the executors would reorder them away). Each
+    // transition withdraws a poisoned announcement and restores the plain
+    // one (or vice versa) — the withdrawal-cascade path where FIFO
+    // processing path-hunts and rank scheduling must still converge to
+    // the same fixpoint.
+    #[test]
+    fn poison_then_unpoison_cascades_match_cold(
+        seed in 0u64..200,
+        clean in 0u8..2,
+        flips in 1usize..4,
+    ) {
+        let (world, origin, schedule) = scenario(seed, 4, 1, 8);
+        let engine = BgpEngine::new(&world.topology, &engine_config(clean == 1));
+        let baseline = &schedule[0];
+        let poisoned: Vec<&AnnouncementConfig> = schedule
+            .iter()
+            .filter(|c| !c.poison.is_empty())
+            .collect();
+        if poisoned.is_empty() {
+            return; // no poison-phase configs at this seed; vacuous case
+        }
+        let mut session = engine.session();
+        for (i, p) in poisoned.iter().take(flips).enumerate() {
+            // poison → unpoison → poison again: A;P unchanged, Q flips.
+            for cfg in [*p, baseline, *p] {
+                let out = session
+                    .deploy_config_delta(&origin, &cfg.to_link_announcements(), 200)
+                    .expect("valid configuration");
+                assert_outcome_matches_cold(&engine, &origin, cfg, &out);
+            }
+            // Re-deploying the previous config identically must be a
+            // zero-seed epoch on clean engines (diff is empty).
+            if clean == 1 {
+                let out = session
+                    .deploy_config_delta(&origin, &poisoned[i].to_link_announcements(), 200)
+                    .expect("valid configuration");
+                prop_assert_eq!(out.events, 0, "identical redeploy must not propagate");
+                prop_assert_eq!(out.routes_disturbed, 0);
+            }
+        }
+    }
+
+    // Adversarial ordering 2: deploy the schedule in a greedy
+    // footprint-distance-MAXIMIZING chain — the exact opposite of the
+    // warm-start order — so every transition is the largest available
+    // edit (announce/withdraw/poison churn all at once).
+    #[test]
+    fn distance_maximizing_schedule_matches_cold(
+        seed in 0u64..200,
+        max_poison in 4usize..10,
+        clean in 0u8..2,
+    ) {
+        let (world, origin, schedule) = scenario(seed, 4, 2, max_poison);
+        let engine = BgpEngine::new(&world.topology, &engine_config(clean == 1));
+        let mut remaining: Vec<usize> = (1..schedule.len()).collect();
+        let mut order = vec![0usize];
+        let mut current = 0usize;
+        while !remaining.is_empty() {
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &k)| footprint_distance(&schedule[current], &schedule[k]))
+                .expect("non-empty");
+            current = remaining.remove(pos);
+            order.push(current);
+        }
+        let mut session = engine.session();
+        for &k in &order {
+            let out = session
+                .deploy_config_delta(&origin, &schedule[k].to_link_announcements(), 200)
+                .expect("valid configuration");
+            assert_outcome_matches_cold(&engine, &origin, &schedule[k], &out);
+        }
+    }
+}
+
+// Delta is opt-in: the default entry points stay warm, and delta stats
+// carry the disturbance accounting the bench snapshot publishes.
+#[test]
+fn delta_stats_report_disturbance() {
+    let (world, origin, schedule) = scenario(17, 4, 1, 8);
+    let engine = BgpEngine::new(&world.topology, &engine_config(true));
+    let delta = run_campaign_mode(
+        &engine,
+        &origin,
+        &schedule,
+        CatchmentSource::ControlPlane,
+        None,
+        200,
+        CampaignMode::Delta,
+    );
+    let cold = run_campaign_mode(
+        &engine,
+        &origin,
+        &schedule,
+        CatchmentSource::ControlPlane,
+        None,
+        200,
+        CampaignMode::Cold,
+    );
+    assert_eq!(delta.catchments, cold.catchments);
+    assert_eq!(delta.stats.mode, CampaignMode::Delta);
+    // The first (cold) epoch alone disturbs every reachable AS; later
+    // delta epochs only add their frontiers, so the total is at least
+    // the baseline coverage but far below propagations × topology size.
+    assert!(delta.stats.routes_disturbed >= delta.tracked.len());
+    assert!(delta.stats.routes_disturbed < delta.stats.propagations * world.topology.num_ases());
+}

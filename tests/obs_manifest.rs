@@ -108,6 +108,52 @@ fn clean_engine_records_warm_epochs() {
     assert!(records.iter().all(|r| r.wall_us.is_none()));
 }
 
+/// A delta campaign on a clean engine records Delta epochs that validate
+/// against the schema-3 vocabulary and carry per-epoch disturbance.
+#[test]
+fn delta_campaign_manifest_validates() {
+    let (world, origin, schedule) = scenario(15);
+    let cfg = EngineConfig {
+        policy: PolicyConfig {
+            violator_fraction: 0.0,
+            ..PolicyConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+    let engine = BgpEngine::new(&world.topology, &cfg);
+    let recorder = CampaignRecorder::new(true);
+    let campaign = run_campaign_recorded(
+        &engine,
+        &origin,
+        &schedule,
+        CatchmentSource::ControlPlane,
+        None,
+        200,
+        CampaignMode::Delta,
+        Some(&recorder),
+    );
+    let records = recorder.take_records();
+    let delta = records
+        .iter()
+        .filter(|r| r.mode == EpochMode::Delta)
+        .count();
+    assert!(delta > 0, "clean engine should delta-start most epochs");
+    // The campaign's disturbance total is the sum over deployed epochs.
+    assert_eq!(
+        records.iter().map(|r| r.routes_disturbed).sum::<usize>(),
+        campaign.stats.routes_disturbed
+    );
+    let text = trackdown_suite::obs::render_manifest(
+        &run_info("obs_manifest", &campaign, true),
+        &records,
+        None,
+    );
+    assert!(text.contains("\"mode\":\"delta\""));
+    let summary = validate_manifest(&text).expect("delta manifest validates");
+    assert_eq!(summary.delta, delta);
+    assert_eq!(summary.epochs, schedule.len());
+}
+
 /// Deterministic manifests are byte-identical across runs and contain no
 /// wall-clock fields (the golden the CI job leans on).
 #[test]

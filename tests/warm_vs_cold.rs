@@ -11,7 +11,10 @@
 //! regimes, and are the proof obligation for the equivalence claim.
 
 use proptest::prelude::*;
-use trackdown_suite::core::localize::{run_campaign_parallel_mode, run_campaign_sharded_mode};
+use trackdown_suite::core::localize::{
+    run_campaign_parallel_mode, run_campaign_recorded, run_campaign_sharded_mode,
+};
+use trackdown_suite::obs::{render_manifest, CampaignRecorder, RunInfo};
 use trackdown_suite::prelude::*;
 
 /// Engine config with the violator knob explicit: `clean` engines have
@@ -168,7 +171,7 @@ proptest! {
         let volume: Vec<u64> = (0..world.topology.num_ases() as u64)
             .map(|i| 1 + i % 7)
             .collect();
-        for mode in [CampaignMode::Warm, CampaignMode::Cold] {
+        for mode in [CampaignMode::Warm, CampaignMode::Delta, CampaignMode::Cold] {
             let oracle = run_campaign_mode(
                 &engine, &origin, &schedule, source, None, 200, mode);
             let oracle_vols = link_volume_matrix(&oracle, &volume, origin.num_links());
@@ -185,6 +188,70 @@ proptest! {
             }
         }
     }
+}
+
+// Degenerate epoch: re-deploying the identical announcement must cost
+// the delta engine zero propagation work — no seeds, no events, no
+// disturbance — while the campaign-level manifest stays byte-identical
+// and deterministic.
+#[test]
+fn identical_redeploy_is_a_zero_work_epoch() {
+    let (world, origin, schedule) = scenario(23, 4, 1, 8);
+    let engine = BgpEngine::new(&world.topology, &engine_config(true));
+
+    // Engine level: the second (identical) deployment diffs to an empty
+    // seed set and never enters the propagation loop.
+    let mut session = engine.session();
+    let anns = schedule[0].to_link_announcements();
+    let first = session
+        .deploy_config_delta(&origin, &anns, 200)
+        .expect("valid configuration");
+    assert!(first.converged);
+    let redeploy = session
+        .deploy_config_delta(&origin, &anns, 200)
+        .expect("valid configuration");
+    assert_eq!(redeploy.events, 0, "identical redeploy must not propagate");
+    assert_eq!(redeploy.routes_disturbed, 0);
+    assert_eq!(
+        Catchments::from_control_plane(&redeploy),
+        Catchments::from_control_plane(&first)
+    );
+
+    // Campaign level: a schedule ending in a duplicated configuration
+    // emits a deterministic manifest that is byte-identical across runs,
+    // with the degenerate epoch recorded at zero cost.
+    let mut doubled = schedule.clone();
+    doubled.push(schedule[0].clone());
+    let manifest_of = || {
+        let recorder = CampaignRecorder::new(true);
+        let campaign = run_campaign_recorded(
+            &engine,
+            &origin,
+            &doubled,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+            CampaignMode::Delta,
+            Some(&recorder),
+        );
+        let info = RunInfo {
+            name: "degenerate".into(),
+            seed: 23,
+            policy_seed: 0,
+            scale: "small".into(),
+            mode: "delta".into(),
+            threads: campaign.stats.threads,
+            shards: campaign.stats.shards,
+            schedule_len: campaign.configs.len(),
+            deterministic: true,
+        };
+        let records = recorder.take_records();
+        let degenerate = records.last().expect("duplicated epoch recorded");
+        assert_eq!(degenerate.events, 0);
+        assert_eq!(degenerate.routes_disturbed, 0);
+        render_manifest(&info, &records, None)
+    };
+    assert_eq!(manifest_of(), manifest_of(), "manifest must be byte-stable");
 }
 
 // The default entry points are the warm executor; pin that so a future
