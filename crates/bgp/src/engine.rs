@@ -603,23 +603,26 @@ impl<'e, 't> CampaignSession<'e, 't> {
     ) -> RoutingOutcome {
         let _span = trackdown_obs::span("bgp.deploy");
         self.deployments += 1;
-        let mut warm = self.deployed && self.warm_reuse && self.have_last_injections;
+        // Delta reuse additionally requires the previous run to have
+        // converged: a capped predecessor leaves stranded FIFO queue
+        // entries whose `in_queue` marks the rank-bucket scheduler would
+        // never clear, silently freezing those ASes for the epoch. (The
+        // plain warm path is immune — it keeps draining the same FIFO.)
+        let mut warm =
+            self.deployed && self.warm_reuse && self.have_last_injections && self.sim.converged;
         if self.deployed && !warm {
             self.reset();
         }
+        let mut seeds = 0;
         if warm {
             self.sim.ensure_ranks();
             self.sim.ranked = true;
-            self.sim.converged = true;
             self.sim.begin_epoch();
             let prev = std::mem::take(&mut self.last_injections);
-            let seeds = self.sim.replace_injections_delta(&prev, injections);
+            seeds = self.sim.replace_injections_delta(&prev, injections);
             self.last_injections = prev;
             self.sim.run(max_events_factor);
             self.sim.ranked = false;
-            trackdown_obs::counter!("bgp.delta.seeds").add(seeds as u64);
-            trackdown_obs::counter!("bgp.delta.visited").add(self.sim.events as u64);
-            trackdown_obs::counter!("bgp.delta.disturbed").add(self.sim.routes_disturbed() as u64);
         } else {
             self.sim.apply_injections(injections);
             self.deployed = true;
@@ -636,6 +639,14 @@ impl<'e, 't> CampaignSession<'e, 't> {
             self.sim.apply_injections(injections);
             self.deployed = true;
             self.sim.run(max_events_factor);
+        }
+        if warm {
+            // Recorded only for delta runs that were kept: a discarded
+            // (cold-restarted) frontier must not skew the soundness
+            // evidence these counters feed.
+            trackdown_obs::counter!("bgp.delta.seeds").add(seeds as u64);
+            trackdown_obs::counter!("bgp.delta.visited").add(self.sim.events as u64);
+            trackdown_obs::counter!("bgp.delta.disturbed").add(self.sim.routes_disturbed() as u64);
         }
         self.finish_deploy(injections, warm, detail)
     }
@@ -983,7 +994,11 @@ impl<'e, 't> Simulation<'e, 't> {
             self.enqueue(p);
         }
         for inj in next {
-            if changed.contains(&inj.provider) {
+            // `changed` is sorted and deduplicated by provider index.
+            if changed
+                .binary_search_by_key(&inj.provider.0, |p| p.0)
+                .is_ok()
+            {
                 self.apply_injection(inj);
             }
         }

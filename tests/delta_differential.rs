@@ -251,6 +251,43 @@ proptest! {
     }
 }
 
+// Regression: a capped (non-converged) epoch must never be warm-reused
+// by the next delta epoch. The capped run leaves stranded FIFO queue
+// entries with `in_queue` set; a rank-scheduled delta epoch on top of
+// them would drain only the rank buckets, freezing those ASes for the
+// whole epoch while reporting convergence. The session must instead
+// fall back to a cold start — and stay fixpoint-identical to the
+// oracle from then on.
+#[test]
+fn capped_epoch_then_delta_falls_back_to_cold() {
+    let (world, origin, schedule) = scenario(23, 4, 1, 8);
+    let engine = BgpEngine::new(&world.topology, &engine_config(true));
+    let mut session = engine.session();
+    // A zero events budget caps the first deployment immediately,
+    // leaving a populated activation queue behind.
+    let capped = session
+        .deploy_config_delta(&origin, &schedule[0].to_link_announcements(), 0)
+        .expect("valid configuration");
+    assert!(!capped.converged, "factor-0 cap must not converge");
+    // Every later epoch gets a real budget; each must match a cold
+    // propagation of the same configuration in both catchment planes.
+    for cfg in schedule.iter().take(6) {
+        let out = session
+            .deploy_config_delta(&origin, &cfg.to_link_announcements(), 200)
+            .expect("valid configuration");
+        assert!(out.converged);
+        assert_outcome_matches_cold(&engine, &origin, cfg, &out);
+    }
+    // Same hazard mid-session: cap a *delta* epoch, then resume.
+    let _ = session.deploy_config_delta(&origin, &schedule[1].to_link_announcements(), 0);
+    for cfg in schedule.iter().rev().take(4) {
+        let out = session
+            .deploy_config_delta(&origin, &cfg.to_link_announcements(), 200)
+            .expect("valid configuration");
+        assert_outcome_matches_cold(&engine, &origin, cfg, &out);
+    }
+}
+
 // Delta is opt-in: the default entry points stay warm, and delta stats
 // carry the disturbance accounting the bench snapshot publishes.
 #[test]
