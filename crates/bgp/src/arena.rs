@@ -205,6 +205,7 @@ impl PathArena {
     /// arena: the merged node count is the size of the *union* path tree,
     /// never the sum of the inputs.
     pub fn absorb_store(&mut self, store: &PathStore) -> Vec<PathId> {
+        let _span = trackdown_obs::span("arena.absorb").attr("nodes", store.nodes.len() as u64);
         let mut remap: Vec<PathId> = Vec::with_capacity(store.nodes.len());
         for node in store.nodes.iter() {
             let parent = if node.parent.is_empty() {
@@ -249,6 +250,11 @@ impl PathStore {
     /// [`PathStore::iter`].
     pub fn materialize(&self, id: PathId) -> AsPath {
         self.iter(id).collect()
+    }
+
+    /// Number of path nodes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
     }
 
     /// True when this store carries no nodes (Catchments-detail snapshot).

@@ -70,6 +70,7 @@ impl Catchments {
 
     /// Control-plane catchments: the ingress tag of each AS's best route.
     pub fn from_control_plane(outcome: &RoutingOutcome) -> Catchments {
+        let _span = trackdown_obs::span("catchment.extract_cp");
         Catchments {
             assignment: outcome.control_catchments(),
         }
@@ -79,6 +80,7 @@ impl Catchments {
     /// origin. Slower but faithful to what traffic actually does; this is
     /// what honeypot volume accounting sees.
     pub fn from_data_plane(outcome: &RoutingOutcome) -> Catchments {
+        let _span = trackdown_obs::span("catchment.extract_dp");
         let mut walker = crate::engine::ForwardingWalker::new();
         let assignment = (0..outcome.best.len())
             .map(|i| walker.walk(outcome, AsIndex(i as u32)).map(|w| w.link))
@@ -98,6 +100,7 @@ impl Catchments {
         n: usize,
         parts: impl IntoIterator<Item = &'a ShardCatchments>,
     ) -> Catchments {
+        let _span = trackdown_obs::span("catchment.assemble");
         let mut assignment = vec![None; n];
         for part in parts {
             assert_eq!(

@@ -362,13 +362,16 @@ impl<'t> BgpEngine<'t> {
         max_events_factor: usize,
         detail: SnapshotDetail,
     ) -> RoutingOutcome {
-        let _span = trackdown_obs::span("bgp.propagate");
+        let mut span = trackdown_obs::span("bgp.propagate");
         let mut sim = Simulation::new(self);
         sim.apply_injections(injections);
         sim.run(max_events_factor);
         trackdown_obs::counter!("bgp.propagations").inc();
         let outcome = sim.snapshot(detail);
         record_outcome_metrics(&outcome);
+        span.set_attr("events", outcome.events as u64);
+        span.set_attr("rounds", outcome.rounds as u64);
+        span.set_attr("changes", outcome.changes.len() as u64);
         outcome
     }
 
@@ -530,7 +533,7 @@ impl<'e, 't> CampaignSession<'e, 't> {
         max_events_factor: usize,
         detail: SnapshotDetail,
     ) -> RoutingOutcome {
-        let _span = trackdown_obs::span("bgp.deploy");
+        let mut span = trackdown_obs::span("bgp.deploy");
         self.deployments += 1;
         let mut warm = self.deployed && self.warm_reuse;
         if self.deployed && !self.warm_reuse {
@@ -544,7 +547,10 @@ impl<'e, 't> CampaignSession<'e, 't> {
             self.sim.apply_injections(injections);
             self.deployed = true;
         }
-        self.sim.run(max_events_factor);
+        {
+            let _drain = trackdown_obs::span("bgp.drain");
+            self.sim.run(max_events_factor);
+        }
         if warm && !self.sim.converged {
             // The transition hit the event cap. Redo this configuration
             // from empty RIBs so its outcome (including the converged
@@ -557,6 +563,8 @@ impl<'e, 't> CampaignSession<'e, 't> {
             self.deployed = true;
             self.sim.run(max_events_factor);
         }
+        span.set_attr("warm", warm as u64);
+        span.set_attr("events", self.sim.events as u64);
         self.finish_deploy(injections, warm, detail)
     }
 
@@ -601,7 +609,7 @@ impl<'e, 't> CampaignSession<'e, 't> {
         max_events_factor: usize,
         detail: SnapshotDetail,
     ) -> RoutingOutcome {
-        let _span = trackdown_obs::span("bgp.deploy");
+        let mut span = trackdown_obs::span("bgp.deploy");
         self.deployments += 1;
         // Delta reuse additionally requires the previous run to have
         // converged: a capped predecessor leaves stranded FIFO queue
@@ -619,13 +627,21 @@ impl<'e, 't> CampaignSession<'e, 't> {
             self.sim.ranked = true;
             self.sim.begin_epoch();
             let prev = std::mem::take(&mut self.last_injections);
-            seeds = self.sim.replace_injections_delta(&prev, injections);
+            {
+                let mut seed_span = trackdown_obs::span("bgp.delta_seed");
+                seeds = self.sim.replace_injections_delta(&prev, injections);
+                seed_span.set_attr("seeds", seeds as u64);
+            }
             self.last_injections = prev;
-            self.sim.run(max_events_factor);
+            {
+                let _drain = trackdown_obs::span("bgp.drain");
+                self.sim.run(max_events_factor);
+            }
             self.sim.ranked = false;
         } else {
             self.sim.apply_injections(injections);
             self.deployed = true;
+            let _drain = trackdown_obs::span("bgp.drain");
             self.sim.run(max_events_factor);
         }
         if warm && !self.sim.converged {
@@ -648,6 +664,9 @@ impl<'e, 't> CampaignSession<'e, 't> {
             trackdown_obs::counter!("bgp.delta.visited").add(self.sim.events as u64);
             trackdown_obs::counter!("bgp.delta.disturbed").add(self.sim.routes_disturbed() as u64);
         }
+        span.set_attr("warm", warm as u64);
+        span.set_attr("seeds", seeds as u64);
+        span.set_attr("events", self.sim.events as u64);
         self.finish_deploy(injections, warm, detail)
     }
 

@@ -10,6 +10,8 @@
 //! trackdown hijack    --dataset FILE [--config K]
 //! trackdown bench-snapshot [--out FILE]      # fixed small campaign -> BENCH_pipeline.json
 //! trackdown validate-manifest --manifest FILE
+//! trackdown profile   [campaign options] [--trace-out FILE]   # traced run -> Chrome JSON + table
+//! trackdown perf-report [--baseline FILE] [--current FILE] [--tolerance PCT] [--report-only]
 //! ```
 
 use std::collections::BTreeSet;
@@ -65,13 +67,23 @@ fn usage() -> ExitCode {
 USAGE:
   trackdown topology  [--scale small|medium|full|large] [--seed N] [--format as-rel|dot] [--out FILE]
   trackdown campaign  [--scale small|medium|full|large] [--seed N] [--measured] [--cold]
-                      [--delta] [--shards N] --out FILE [--metrics-out FILE]
+                      [--delta] [--shards N] [--threads N] --out FILE [--metrics-out FILE]
                       [--metrics-deterministic]
   trackdown info      --dataset FILE
   trackdown localize  --dataset FILE --attacker ASN [--attacker ASN ...] [--volume BYTES]
   trackdown hijack    --dataset FILE [--config K]
   trackdown bench-snapshot [--out FILE]
   trackdown validate-manifest --manifest FILE
+  trackdown profile   [--scale S] [--seed N] [--measured] [--cold] [--delta] [--shards N]
+                      [--threads N] [--trace-out FILE]
+  trackdown perf-report [--baseline FILE] [--current FILE] [--tolerance PCT]
+                      [--report-only] [--out FILE]
+
+profile runs one traced campaign, writes a Chrome trace-event JSON
+(load it at https://ui.perfetto.dev) and prints a self-profile table.
+perf-report diffs two BENCH_pipeline.json snapshots (omitting
+--current benches a fresh one) and fails on metric regressions
+beyond the tolerance unless --report-only is set.
 
 Set TRACKDOWN_SPANS=1 to stream span timings to stderr."
     );
@@ -95,9 +107,11 @@ impl Args {
                 return None;
             }
             match a.as_str() {
-                "--measured" | "--cold" | "--delta" | "--metrics-deterministic" => {
-                    flags.push(a.clone())
-                }
+                "--measured"
+                | "--cold"
+                | "--delta"
+                | "--metrics-deterministic"
+                | "--report-only" => flags.push(a.clone()),
                 _ => {
                     i += 1;
                     values.push((a.clone(), args.get(i)?.clone()));
@@ -141,6 +155,9 @@ impl Args {
         opts.delta = self.has("--delta");
         if let Some(s) = self.get("--shards") {
             opts.shards = s.parse().ok().filter(|&v| v >= 1)?;
+        }
+        if let Some(s) = self.get("--threads") {
+            opts.threads = Some(s.parse().ok().filter(|&v| v >= 1)?);
         }
         opts.metrics_out = self.get("--metrics-out").map(str::to_string);
         opts.metrics_deterministic = self.has("--metrics-deterministic");
@@ -617,14 +634,16 @@ fn bench_attribution_arms() -> Result<(u64, u64, f64, f64), String> {
     Ok((SOURCES as u64, CONFIGS as u64, indexed_ms, scan_ms))
 }
 
-fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
+/// Run the full fixed benchmark workload and return the snapshot. The
+/// workload is shared by `bench-snapshot` (writes it) and `perf-report`
+/// without `--current` (diffs it against a committed baseline).
+fn bench_snapshot() -> Result<BenchSnapshot, String> {
     use trackdown_core::localize::{run_campaign_mode, CampaignMode, CatchmentSource};
 
     // Fixed workload so snapshots are comparable across commits: the
     // small scale at seed 7 (the campaign the verify recipe drives), on
     // a Gao-Rexford-clean engine — with policy violators the session
     // cold-starts every epoch by design and there is nothing to bench.
-    let out_path = args.get("--out").unwrap_or("BENCH_pipeline.json");
     let scenario = Scenario::build(Options {
         scale: Scale::Small,
         seed: 7,
@@ -760,6 +779,12 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
         large_8t_ms: (large_8t_ms * 1e3).round() / 1e3,
         large_shard_speedup: ((large_1t_ms / large_8t_ms) * 1e3).round() / 1e3,
     };
+    Ok(snap)
+}
+
+fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
+    let out_path = args.get("--out").unwrap_or("BENCH_pipeline.json");
+    let snap = bench_snapshot()?;
     let json = serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?;
     fs::write(out_path, json + "\n").map_err(|e| format!("write {out_path}: {e}"))?;
     println!(
@@ -783,6 +808,97 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
         snap.cores
     );
     Ok(())
+}
+
+/// `trackdown profile`: run one campaign (any preset the `campaign`
+/// command accepts) with structured tracing on, write the Chrome
+/// trace-event JSON, and print the self-profile summary — per-phase
+/// exclusive/inclusive time and per-worker utilization.
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let opts = args.options().ok_or("bad options")?;
+    let trace_out = args.get("--trace-out").unwrap_or("trace.json").to_string();
+    let scenario = Scenario::build(opts);
+    scenario.announce();
+    trackdown_obs::start_trace(trackdown_obs::TraceConfig::default());
+    let campaign = scenario.run_recorded(None);
+    let trace = trackdown_obs::end_trace().ok_or("tracing produced no trace")?;
+    report_stats(&campaign);
+
+    let json = trackdown_obs::chrome_trace_json(&trace);
+    fs::write(&trace_out, &json).map_err(|e| format!("write {trace_out}: {e}"))?;
+    let summary = trackdown_obs::ProfileSummary::from_trace(&trace);
+    print!("{}", summary.render());
+    println!(
+        "steal fails {} over {} worker(s); wrote {trace_out} ({} events) — \
+         load it at https://ui.perfetto.dev or chrome://tracing",
+        campaign.stats.shard_steal_fails,
+        campaign.stats.worker_busy_us.len().max(1),
+        trace.events.len()
+    );
+    Ok(())
+}
+
+/// `trackdown perf-report`: diff two `BENCH_pipeline.json` snapshots —
+/// or the committed baseline against a freshly-benched current — and
+/// flag per-metric regressions beyond the tolerance.
+fn cmd_perf_report(args: &Args) -> Result<(), String> {
+    let baseline_path = args.get("--baseline").unwrap_or("BENCH_pipeline.json");
+    let tolerance: f64 = args
+        .get("--tolerance")
+        .map(|v| v.parse().map_err(|_| "bad --tolerance"))
+        .transpose()?
+        .unwrap_or(10.0);
+    let baseline_text =
+        fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
+    let baseline: serde::Value =
+        serde_json::from_str(&baseline_text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let (current, current_label) = match args.get("--current") {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            (
+                serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?,
+                path.to_string(),
+            )
+        }
+        None => {
+            eprintln!("# no --current given; benching a fresh snapshot (takes a minute)");
+            let snap = bench_snapshot()?;
+            (
+                serde_json::to_value(&snap).map_err(|e| e.to_string())?,
+                "fresh bench".to_string(),
+            )
+        }
+    };
+    let report = trackdown_obs::diff_bench_snapshots(&baseline, &current, tolerance);
+    let markdown = report.render_markdown();
+    match args.get("--out") {
+        Some(path) => {
+            fs::write(path, &markdown).map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{markdown}"),
+    }
+    let regressions = report.regressions();
+    if regressions.is_empty() {
+        println!("no regressions vs {baseline_path} (tolerance {tolerance}%)");
+        Ok(())
+    } else if args.has("--report-only") {
+        println!(
+            "{} regression(s) vs {baseline_path} ({current_label}); --report-only set, not failing",
+            regressions.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{} metric(s) regressed beyond {tolerance}% vs {baseline_path}: {}",
+            regressions.len(),
+            regressions
+                .iter()
+                .map(|r| r.key.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    }
 }
 
 fn cmd_validate_manifest(args: &Args) -> Result<(), String> {
@@ -820,6 +936,8 @@ fn main() -> ExitCode {
         "hijack" => cmd_hijack(&args),
         "bench-snapshot" => cmd_bench_snapshot(&args),
         "validate-manifest" => cmd_validate_manifest(&args),
+        "profile" => cmd_profile(&args),
+        "perf-report" => cmd_perf_report(&args),
         "--help" | "-h" | "help" => return usage(),
         other => Err(format!("unknown command {other:?}")),
     };

@@ -236,6 +236,7 @@ impl Clustering {
     /// unlogged refinement, so partitions (and campaigns built on them)
     /// are byte-for-byte unchanged.
     pub fn refine_logged(&mut self, catchments: &Catchments) -> RefineDelta {
+        let _span = trackdown_obs::span("cluster.refine");
         trackdown_obs::counter!("cluster.refines").inc();
         let old_num = self.num_clusters as usize;
         let mut remap: HashMap<(u32, Option<LinkId>), u32> = HashMap::new();

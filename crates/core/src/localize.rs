@@ -57,7 +57,7 @@ pub enum CampaignMode {
 }
 
 /// Executor counters reported alongside a [`Campaign`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignStats {
     /// Which executor produced the campaign.
     pub mode: CampaignMode,
@@ -91,6 +91,18 @@ pub struct CampaignStats {
     /// so warm/delta event ratios are comparable across machines — the
     /// work-unit metric the bench snapshot's `delta_speedup` reports.
     pub events: usize,
+    /// Steal attempts by the sharded executor that found the queue empty
+    /// (0 for the other executors). A high count relative to
+    /// `campaign.shard_steals` means workers spin on an empty queue —
+    /// the contention signature behind `large_shard_speedup < 1`.
+    pub shard_steal_fails: usize,
+    /// Per-worker busy time (µs inside produce/extract/steal/merge work)
+    /// for the sharded executor; empty for the other executors and in
+    /// deterministic runs (wall-clock must not leak there).
+    pub worker_busy_us: Vec<u64>,
+    /// Per-worker idle time (µs spent waiting on the task queue);
+    /// parallel to `worker_busy_us`.
+    pub worker_idle_us: Vec<u64>,
 }
 
 impl Default for CampaignStats {
@@ -106,6 +118,9 @@ impl Default for CampaignStats {
             merged_arena_nodes: 0,
             routes_disturbed: 0,
             events: 0,
+            shard_steal_fails: 0,
+            worker_busy_us: Vec::new(),
+            worker_idle_us: Vec::new(),
         }
     }
 }
@@ -998,9 +1013,19 @@ pub fn run_campaign_sharded_recorded(
         let Some(task) = queue.lock().expect("queue poisoned").pop_front() else {
             return false;
         };
-        let _span = trackdown_obs::span("campaign.shard_extract");
+        // Own-epoch pops and cross-worker steals get distinct trace
+        // phases: a steal-heavy timeline means producers can't keep the
+        // queue fed.
+        let stolen = task.producer != t;
+        let mut span = trackdown_obs::span(if stolen {
+            "worker.steal"
+        } else {
+            "worker.extract"
+        });
+        span.set_attr("epoch", task.epoch as u64);
+        span.set_attr("shard", task.shard as u64);
         trackdown_obs::counter!("campaign.shard_tasks").inc();
-        if task.producer != t {
+        if stolen {
             trackdown_obs::counter!("campaign.shard_steals").inc();
         }
         let part = extract_shard(source, &task.outcome, plan.range(task.shard));
@@ -1035,6 +1060,11 @@ pub fn run_campaign_sharded_recorded(
                 let mut memo_hits = 0usize;
                 let mut disturbed = 0usize;
                 let mut events = 0usize;
+                // Utilization accounting, accumulated worker-locally so
+                // the drain spin loop touches no shared cache lines.
+                let worker_start = std::time::Instant::now();
+                let mut idle_us = 0u64;
+                let mut steal_fails = 0u64;
                 for &off in &order {
                     let cfg = &chunk[off];
                     cfg.validate(origin).expect("invalid configuration");
@@ -1064,6 +1094,12 @@ pub fn run_campaign_sharded_recorded(
                         }
                         memo.insert(key, off);
                     }
+                    // Produce segment: deploy + record + enqueue. The
+                    // help-first drain that follows is traced as
+                    // extract/steal time, so the timeline separates the
+                    // two costs per worker.
+                    let mut produce = trackdown_obs::span("worker.produce");
+                    produce.set_attr("epoch", (base + off) as u64);
                     let timer = recorder.and_then(|r| r.start_timer());
                     let outcome = match mode {
                         CampaignMode::Warm => session.deploy_config(
@@ -1083,6 +1119,7 @@ pub fn run_campaign_sharded_recorded(
                         ),
                     }
                     .expect("validated configuration");
+                    produce.set_attr("events", outcome.events as u64);
                     if let Some(rec) = recorder {
                         let epoch_mode = match mode {
                             CampaignMode::Warm if session.last_deploy_warm() => EpochMode::Warm,
@@ -1117,23 +1154,60 @@ pub fn run_campaign_sharded_recorded(
                                 outcome: Arc::clone(&outcome),
                             });
                         }
+                        trackdown_obs::counter_sample("campaign.queue_depth", q.len() as u64);
                     }
+                    drop(produce);
                     // Help-first draining: keep the queue (and the routing
                     // outcomes it retains) bounded by in-flight epochs.
                     while steal_one(t) {}
+                    steal_fails += 1; // the drain exits on an empty pop
                 }
                 producers.fetch_sub(1, Ordering::AcqRel);
                 // Chunk done: steal until every producer has finished and
-                // the queue is drained.
+                // the queue is drained. Idle stretches (empty-queue spins
+                // between successful steals) are timed worker-locally and
+                // recorded as `worker.idle` trace spans.
+                let mut idle_since: Option<std::time::Instant> = None;
+                let close_idle = |idle_since: &mut Option<std::time::Instant>,
+                                  idle_us: &mut u64| {
+                    if let Some(since) = idle_since.take() {
+                        let now = std::time::Instant::now();
+                        *idle_us += now
+                            .checked_duration_since(since)
+                            .map(|d| d.as_micros() as u64)
+                            .unwrap_or(0);
+                        trackdown_obs::record_span("worker.idle", since, now);
+                    }
+                };
                 loop {
-                    if steal_one(t) {
+                    let mut worked = steal_one(t);
+                    if !worked {
+                        steal_fails += 1;
+                        if producers.load(Ordering::Acquire) == 0 {
+                            // Producers all done: one confirming pop
+                            // guards against tasks enqueued between our
+                            // failed pop and the producer count reaching
+                            // zero.
+                            if steal_one(t) {
+                                worked = true;
+                            } else {
+                                steal_fails += 1;
+                                break;
+                            }
+                        }
+                    }
+                    if worked {
+                        close_idle(&mut idle_since, &mut idle_us);
                         continue;
                     }
-                    if producers.load(Ordering::Acquire) == 0 && !steal_one(t) {
-                        break;
+                    if idle_since.is_none() {
+                        idle_since = Some(std::time::Instant::now());
                     }
                     std::thread::yield_now();
                 }
+                close_idle(&mut idle_since, &mut idle_us);
+                trackdown_obs::counter!("campaign.shard_steal_fails").add(steal_fails);
+                let total_us = worker_start.elapsed().as_micros() as u64;
                 (
                     base,
                     converged,
@@ -1143,11 +1217,12 @@ pub fn run_campaign_sharded_recorded(
                     session.cold_restarts(),
                     session.peak_arena_nodes(),
                     session.path_store(),
+                    (total_us.saturating_sub(idle_us), idle_us, steal_fails),
                 )
             }));
         }
         for h in handles {
-            let (base, converged, pairs, propagations, counts, cold_restarts, peak, store) =
+            let (base, converged, pairs, propagations, counts, cold_restarts, peak, store, util) =
                 h.join().expect("worker panicked");
             for (off, c) in converged.into_iter().enumerate() {
                 converged_by_k[base + off] = c;
@@ -1159,9 +1234,13 @@ pub fn run_campaign_sharded_recorded(
             stats.events += counts.2;
             stats.cold_restarts += cold_restarts;
             stats.peak_arena_nodes = stats.peak_arena_nodes.max(peak);
+            stats.worker_busy_us.push(util.0);
+            stats.worker_idle_us.push(util.1);
+            stats.shard_steal_fails += util.2 as usize;
             // Canonical-interning merge: shared path prefixes across
             // worker arenas collapse to single nodes.
             if !store.is_empty() {
+                let _span = trackdown_obs::span("worker.merge").attr("nodes", store.len() as u64);
                 merged.absorb_store(&store);
             }
         }
@@ -1262,6 +1341,7 @@ fn validate_link_volumes(campaign: &Campaign, link_volumes: &[Vec<u64>]) {
 /// tracked cluster landed on needs an entry (zero means "measured silent",
 /// absence is a caller bug; see the width contract in DESIGN.md).
 pub fn rank_suspects(campaign: &Campaign, link_volumes: &[Vec<u64>]) -> Vec<SuspectCluster> {
+    let _span = trackdown_obs::span("attr.rank").attr("configs", link_volumes.len() as u64);
     validate_link_volumes(campaign, link_volumes);
     let idx = &campaign.attribution;
     // Per-cluster state, re-keyed through every delta: the running
@@ -1395,6 +1475,7 @@ pub fn estimate_cluster_volumes(
     link_volumes: &[Vec<u64>],
     max_rounds: usize,
 ) -> Vec<VolumeEstimate> {
+    let _span = trackdown_obs::span("attr.estimate").attr("configs", link_volumes.len() as u64);
     validate_link_volumes(campaign, link_volumes);
     let num_links = campaign.attribution.num_links();
     // Link of each cluster per configuration (None = unobserved),

@@ -169,7 +169,8 @@ pub fn footprint_distance(a: &AnnouncementConfig, b: &AnnouncementConfig) -> usi
 /// duplicate footprints (distance 0) become adjacent, where they are
 /// no-op epochs or memo hits.
 pub fn warm_start_order(configs: &[AnnouncementConfig]) -> Vec<usize> {
-    let _span = trackdown_obs::span("schedule.warm_start_order");
+    let _span =
+        trackdown_obs::span("schedule.warm_start_order").attr("configs", configs.len() as u64);
     trackdown_obs::counter!("schedule.warm_start_orders").inc();
     if configs.is_empty() {
         return Vec::new();

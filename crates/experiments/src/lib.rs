@@ -102,6 +102,10 @@ pub struct Options {
     /// processed as a work-stealing batch; results are identical for every
     /// value — this is purely a load-balancing knob for large topologies.
     pub shards: usize,
+    /// Worker-thread override (`--threads`). Defaults to the machine's
+    /// available parallelism. Results are thread-count-invariant; this
+    /// pins the executor shape for profiling and benches.
+    pub threads: Option<usize>,
     /// Write a JSONL run manifest (run header, one epoch line per
     /// configuration, metrics snapshot) to this path after each campaign.
     pub metrics_out: Option<String>,
@@ -119,6 +123,7 @@ impl Default for Options {
             cold: false,
             delta: false,
             shards: 1,
+            threads: None,
             metrics_out: None,
             metrics_deterministic: false,
         }
@@ -159,6 +164,15 @@ impl Options {
                         .filter(|&s| s >= 1)
                         .unwrap_or_else(|| usage());
                 }
+                "--threads" => {
+                    i += 1;
+                    opts.threads = Some(
+                        args.get(i)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&s| s >= 1)
+                            .unwrap_or_else(|| usage()),
+                    );
+                }
                 "--metrics-out" => {
                     i += 1;
                     opts.metrics_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -181,7 +195,8 @@ impl Options {
 fn usage() -> ! {
     eprintln!(
         "usage: <experiment> [--scale small|medium|full|large] [--seed <u64>] [--measured] \
-         [--cold] [--delta] [--shards <n>] [--metrics-out FILE] [--metrics-deterministic]"
+         [--cold] [--delta] [--shards <n>] [--threads <n>] [--metrics-out FILE] \
+         [--metrics-deterministic]"
     );
     std::process::exit(2)
 }
@@ -222,6 +237,8 @@ pub struct Scenario {
     pub delta: bool,
     /// Catchment-extraction shards per configuration.
     pub shards: usize,
+    /// Worker-thread override (`None` = available parallelism).
+    pub threads: Option<usize>,
     /// Run-manifest output path ([`Scenario::run`] writes it when set).
     pub metrics_out: Option<String>,
     /// Whether manifests suppress wall-clock fields.
@@ -288,6 +305,7 @@ impl Scenario {
             cold: opts.cold,
             delta: opts.delta,
             shards: opts.shards,
+            threads: opts.threads,
             metrics_out: opts.metrics_out,
             metrics_deterministic: opts.metrics_deterministic,
         }
@@ -362,9 +380,11 @@ impl Scenario {
             // concurrently (§V-C) — and each fixpoint's catchment
             // extraction is sharded into a work-stealing batch
             // (`--shards`; 1 keeps whole-topology extraction).
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1);
+            let threads = self.threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
             run_campaign_sharded_recorded(
                 &engine,
                 &self.origin,
@@ -396,6 +416,7 @@ impl Scenario {
             .into(),
             threads: campaign.stats.threads,
             shards: campaign.stats.shards,
+            trace: trackdown_obs::trace_config_label(),
             schedule_len: campaign.configs.len(),
             deterministic: self.metrics_deterministic,
         }

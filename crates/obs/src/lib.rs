@@ -29,11 +29,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod manifest;
 pub mod metrics;
+pub mod profile;
 pub mod progress;
 pub mod span;
+pub mod trace;
 
+pub use export::chrome_trace_json;
 pub use manifest::{
     render_manifest, validate_manifest, write_manifest, CampaignRecorder, EpochMode, EpochRecord,
     ManifestSummary, RunInfo, MANIFEST_SCHEMA_VERSION,
@@ -41,9 +45,17 @@ pub use manifest::{
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
 };
+pub use profile::{
+    diff_bench_snapshots, metric_policy, MetricDiff, MetricPolicy, MetricStatus, PerfReport,
+    PhaseStat, ProfileSummary, WorkerStat,
+};
 pub use span::{
     set_span_sink, span, spans_enabled, CollectingSink, NullSink, Span, SpanRecord, SpanSink,
     StderrSink,
+};
+pub use trace::{
+    counter_sample, end_trace, record_span, start_trace, trace_config_label, tracing_enabled,
+    ThreadInfo, Trace, TraceConfig, TraceEvent, TraceEventKind,
 };
 
 /// Resolve (once per call site) and return a `&'static`-lived handle to
@@ -75,6 +87,14 @@ pub fn init_spans_from_env() {
     if std::env::var("TRACKDOWN_SPANS").is_ok_and(|v| !v.is_empty()) {
         set_span_sink(Some(std::sync::Arc::new(StderrSink)));
     }
+}
+
+/// Serializes unit tests that touch process-global span/trace state
+/// (cargo runs tests in threads; two tests arming traces race).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 #[cfg(test)]

@@ -26,7 +26,14 @@ use std::time::Instant;
 /// `routes_disturbed` field (net best-route disturbance vs the previous
 /// epoch's fixpoint — the workload delta propagation is proportional to;
 /// 0 for memo hits, reachable-count for cold starts).
-pub const MANIFEST_SCHEMA_VERSION: u64 = 3;
+///
+/// Version 4 added the `trace` run-header field (non-deterministic
+/// manifests only): the trace/profile configuration label from
+/// [`crate::trace::trace_config_label`] (`"off"` or e.g.
+/// `"chrome:cap=4096"`). Tracing observes execution without changing
+/// any result, so — like `shards` and `wall_us` — the field must never
+/// appear in byte-identity-checked deterministic manifests.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 4;
 
 /// Run-level header describing the whole campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +55,11 @@ pub struct RunInfo {
     /// extraction work without changing any campaign result, so the
     /// deterministic manifest must not vary with them.
     pub shards: usize,
+    /// Trace/profile configuration label (`"off"`, or e.g.
+    /// `"chrome:cap=4096"` while a trace is armed — see
+    /// [`crate::trace::trace_config_label`]). Rendered only in
+    /// non-deterministic manifests, like `shards`.
+    pub trace: String,
     /// Number of configurations in the schedule.
     pub schedule_len: usize,
     /// Whether wall-clock fields were suppressed.
@@ -198,6 +210,7 @@ pub fn render_manifest(
         // Like wall_us on epoch lines: an execution-shape detail that
         // must not appear in byte-identity-checked manifests.
         header.push(("shards", Value::U64(run.shards as u64)));
+        header.push(("trace", Value::Str(run.trace.clone())));
     }
     header.push(("schedule_len", Value::U64(run.schedule_len as u64)));
     header.push(("deterministic", Value::Bool(run.deterministic)));
@@ -271,7 +284,8 @@ pub struct ManifestSummary {
 }
 
 /// Run-header keys of a *deterministic* manifest. Non-deterministic
-/// manifests additionally carry `shards` (schema 2).
+/// manifests additionally carry `shards` (schema 2) and `trace`
+/// (schema 4).
 const RUN_KEYS: &[&str] = &[
     "record",
     "schema",
@@ -366,8 +380,10 @@ pub fn validate_manifest(text: &str) -> Result<ManifestSummary, String> {
     } else {
         let mut with_shards: Vec<&str> = RUN_KEYS.to_vec();
         with_shards.push("shards");
+        with_shards.push("trace");
         expect_keys(*first_no, header, &with_shards)?;
         get_u64(*first_no, header, "shards")?;
+        get_str(*first_no, header, "trace")?;
     }
     let schema = get_u64(*first_no, header, "schema")?;
     if schema != MANIFEST_SCHEMA_VERSION {
@@ -479,6 +495,7 @@ mod tests {
             mode: "warm".into(),
             threads: 1,
             shards: 1,
+            trace: "off".into(),
             schedule_len: 2,
             deterministic,
         }
@@ -528,6 +545,7 @@ mod tests {
         assert!(text.contains("wall_us"));
         assert!(text.contains("time.deploy"));
         assert!(text.contains("\"shards\":1"));
+        assert!(text.contains("\"trace\":\"off\""));
 
         let det = render_manifest(&run_info(true), &records(Some(33)), Some(&snap));
         let s = validate_manifest(&det).expect("valid deterministic manifest");
@@ -535,6 +553,7 @@ mod tests {
         assert!(!det.contains("wall_us"), "wall-clock field leaked: {det}");
         assert!(!det.contains("time."), "wall-clock histogram leaked");
         assert!(!det.contains("shards"), "execution-shape field leaked");
+        assert!(!det.contains("trace"), "trace config leaked");
     }
 
     #[test]
@@ -604,6 +623,9 @@ mod tests {
         // A non-deterministic header without shards is schema drift too.
         let shardless = good.replace("\"shards\":1,", "");
         assert!(validate_manifest(&shardless).is_err());
+        // Same for the trace label (schema 4).
+        let traceless = good.replace("\"trace\":\"off\",", "");
+        assert!(validate_manifest(&traceless).is_err());
         assert!(validate_manifest("").is_err());
     }
 }

@@ -1,16 +1,29 @@
-//! Scoped span timers with a pluggable sink.
+//! Scoped span timers with a pluggable sink and optional trace capture.
 //!
-//! Spans are *disabled by default*: until a sink is installed,
-//! [`span`] returns an inert guard whose construction and drop are a
-//! single relaxed atomic load each — no clock reads, no allocation —
-//! so instrumented hot paths pay nothing (the warm-start campaign
-//! speedup is not regressed). With a sink installed, each span reads
-//! the monotonic clock twice, feeds a `time.<name>` histogram in the
-//! global registry, and reports a [`SpanRecord`] to the sink.
+//! Spans are *disabled by default*: until a sink is installed or a trace
+//! is armed ([`crate::trace::start_trace`]), [`span`] returns an inert
+//! guard whose construction and drop are a single relaxed atomic load
+//! each — no clock reads, no allocation — so instrumented hot paths pay
+//! nothing (the warm-start campaign speedup is not regressed).
+//!
+//! With a sink installed, each span reads the monotonic clock twice,
+//! feeds a `time.<name>` histogram in the global registry, and reports a
+//! [`SpanRecord`] to the sink. The histogram handle is resolved once at
+//! span *open* and the sink is cached per thread (keyed by an install
+//! generation), so enabled spans do no allocation and take no global
+//! lock on the drop path.
+//!
+//! While a trace is armed, each span additionally records a
+//! [`crate::trace::TraceEvent`] with id, parent link, thread index,
+//! timestamps, and any [`Span::attr`] attributes into the per-thread
+//! trace buffer. Tracing alone does *not* feed `time.*` histograms, so
+//! deterministic metrics snapshots are unaffected by profiling runs.
 
-use crate::metrics::global;
-use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::metrics::{global, Histogram};
+use crate::trace::{self, TraceCtx, MAX_ATTRS};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -32,24 +45,69 @@ pub trait SpanSink: Send + Sync {
     fn record(&self, span: &SpanRecord);
 }
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Combined fast-path flag: sink installed OR trace armed. The single
+/// relaxed load of this flag is the entire cost of an inert span.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SINK_INSTALLED: AtomicBool = AtomicBool::new(false);
+/// Bumped on every [`set_span_sink`] call; per-thread sink caches
+/// revalidate against it instead of taking the `RwLock` per span.
+static SINK_GEN: AtomicU64 = AtomicU64::new(0);
 static SINK: RwLock<Option<Arc<dyn SpanSink>>> = RwLock::new(None);
 
-/// Install (or with `None`, remove) the process-wide span sink. Spans
-/// are timed only while a sink is installed.
-pub fn set_span_sink(sink: Option<Arc<dyn SpanSink>>) {
-    let mut w = SINK.write().expect("span sink lock");
-    ENABLED.store(sink.is_some(), Ordering::SeqCst);
-    *w = sink;
+/// Recompute the combined fast-path flag. Called by [`set_span_sink`]
+/// and by trace arm/disarm.
+pub(crate) fn refresh_active() {
+    let on = SINK_INSTALLED.load(Ordering::Relaxed) || trace::tracing_enabled();
+    ACTIVE.store(on, Ordering::SeqCst);
 }
 
-/// Whether spans are currently being timed.
+/// Install (or with `None`, remove) the process-wide span sink. Spans
+/// are timed while a sink is installed or a trace is armed.
+pub fn set_span_sink(sink: Option<Arc<dyn SpanSink>>) {
+    let mut w = SINK.write().expect("span sink lock");
+    SINK_INSTALLED.store(sink.is_some(), Ordering::SeqCst);
+    *w = sink;
+    SINK_GEN.fetch_add(1, Ordering::SeqCst);
+    drop(w);
+    refresh_active();
+}
+
+/// Whether spans are currently being timed (sink installed or trace armed).
 pub fn spans_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ACTIVE.load(Ordering::Relaxed)
 }
 
 thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// Histogram handles resolved once per (thread, span name): avoids
+    /// the `format!("time.{name}")` allocation and registry lock per drop.
+    static HIST_CACHE: RefCell<HashMap<&'static str, Arc<Histogram>>> =
+        RefCell::new(HashMap::new());
+    /// (generation, sink) — revalidated against `SINK_GEN` per span open.
+    static SINK_CACHE: RefCell<(u64, Option<Arc<dyn SpanSink>>)> =
+        const { RefCell::new((0, None)) };
+}
+
+fn cached_histogram(name: &'static str) -> Arc<Histogram> {
+    HIST_CACHE.with(|cache| {
+        Arc::clone(
+            cache
+                .borrow_mut()
+                .entry(name)
+                .or_insert_with(|| global().histogram(&format!("time.{name}"))),
+        )
+    })
+}
+
+fn cached_sink() -> Option<Arc<dyn SpanSink>> {
+    SINK_CACHE.with(|cache| {
+        let mut slot = cache.borrow_mut();
+        let gen_now = SINK_GEN.load(Ordering::Acquire);
+        if slot.0 != gen_now {
+            *slot = (gen_now, SINK.read().expect("span sink lock").clone());
+        }
+        slot.1.clone()
+    })
 }
 
 /// RAII guard returned by [`span`]; reports on drop.
@@ -57,35 +115,84 @@ thread_local! {
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    hist: Option<Arc<Histogram>>,
+    trace: Option<TraceCtx>,
+    attrs: [(&'static str, u64); MAX_ATTRS],
+    n_attrs: u8,
 }
 
-/// Open a scoped span. Inert (no clock read) unless a sink is installed.
+/// Open a scoped span. Inert (no clock read) unless a sink is installed
+/// or a trace is armed.
 pub fn span(name: &'static str) -> Span {
-    if !ENABLED.load(Ordering::Relaxed) {
-        return Span { name, start: None };
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return Span {
+            name,
+            start: None,
+            hist: None,
+            trace: None,
+            attrs: [("", 0); MAX_ATTRS],
+            n_attrs: 0,
+        };
     }
-    DEPTH.with(|d| d.set(d.get() + 1));
+    let now = Instant::now();
+    let sinking = SINK_INSTALLED.load(Ordering::Relaxed);
+    if sinking {
+        DEPTH.with(|d| d.set(d.get() + 1));
+    }
     Span {
         name,
-        start: Some(Instant::now()),
+        start: Some(now),
+        hist: sinking.then(|| cached_histogram(name)),
+        trace: if trace::tracing_enabled() {
+            trace::enter(now)
+        } else {
+            None
+        },
+        attrs: [("", 0); MAX_ATTRS],
+        n_attrs: 0,
+    }
+}
+
+impl Span {
+    /// Attach a `u64` attribute (builder style). No-op when the span is
+    /// inert or already carries [`MAX_ATTRS`] attributes.
+    pub fn attr(mut self, key: &'static str, value: u64) -> Span {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// Attach a `u64` attribute in place; same semantics as [`Span::attr`].
+    pub fn set_attr(&mut self, key: &'static str, value: u64) {
+        if self.start.is_none() {
+            return;
+        }
+        let n = self.n_attrs as usize;
+        if n < MAX_ATTRS {
+            self.attrs[n] = (key, value);
+            self.n_attrs += 1;
+        }
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
-        let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let end = Instant::now();
+        if let Some(tctx) = self.trace.take() {
+            trace::exit(tctx, self.name, end, self.attrs, self.n_attrs);
+        }
+        let Some(hist) = self.hist.take() else { return };
+        let micros = end
+            .checked_duration_since(start)
+            .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
         let depth = DEPTH.with(|d| {
             let v = d.get();
             d.set(v - 1);
             v
         });
-        global()
-            .histogram(&format!("time.{}", self.name))
-            .observe(micros);
-        // Clone out of the lock so a slow sink cannot block installs.
-        let sink = SINK.read().expect("span sink lock").clone();
-        if let Some(sink) = sink {
+        hist.observe(micros);
+        if let Some(sink) = cached_sink() {
             sink.record(&SpanRecord {
                 name: self.name,
                 depth,
@@ -153,6 +260,7 @@ mod tests {
     // (cargo runs tests in threads; two tests swapping the sink race).
     #[test]
     fn spans_nest_and_disable() {
+        let _guard = crate::test_lock();
         // Disabled: inert guard, nothing recorded.
         assert!(!spans_enabled());
         drop(span("never"));

@@ -196,6 +196,7 @@ fn single_config_recorded_campaign_manifest_validates() {
             mode: "warm".into(),
             threads: campaign.stats.threads,
             shards: campaign.stats.shards,
+            trace: "off".into(),
             schedule_len: campaign.configs.len(),
             deterministic: true,
         },

@@ -35,6 +35,7 @@ fn run_info(name: &str, campaign: &Campaign, deterministic: bool) -> RunInfo {
         mode: "warm".into(),
         threads: campaign.stats.threads,
         shards: campaign.stats.shards,
+        trace: trackdown_suite::obs::trace_config_label(),
         schedule_len: campaign.configs.len(),
         deterministic,
     }

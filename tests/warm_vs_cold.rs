@@ -242,6 +242,7 @@ fn identical_redeploy_is_a_zero_work_epoch() {
             mode: "delta".into(),
             threads: campaign.stats.threads,
             shards: campaign.stats.shards,
+            trace: "off".into(),
             schedule_len: campaign.configs.len(),
             deterministic: true,
         };
