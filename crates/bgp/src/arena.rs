@@ -217,6 +217,97 @@ impl PathArena {
         }
         remap
     }
+
+    /// Rooted merge: re-intern only the nodes on the ancestor chains of
+    /// `roots` (ids valid for `src`), skipping everything `src` interned
+    /// that no root references — candidate offers that never became best,
+    /// transient paths, and so on. Duplicate and [`PathId::EMPTY`] roots
+    /// are fine.
+    ///
+    /// Returns the remap table: `remap[i]` is this arena's id for source
+    /// node `i` when that node was absorbed, [`PathId::EMPTY`] otherwise.
+    ///
+    /// Like [`PathArena::absorb_store`] this is O(source nodes) with no
+    /// materialization: one backward pass closes the ancestor marks
+    /// (parents always precede children in an append-only arena), one
+    /// forward pass re-interns the marked nodes parent-first.
+    pub fn absorb_rooted(&mut self, src: &PathArena, roots: &[PathId]) -> Vec<PathId> {
+        let _span = trackdown_obs::span("arena.absorb")
+            .attr("nodes", src.nodes.len() as u64)
+            .attr("roots", roots.len() as u64);
+        let mut marked = vec![false; src.nodes.len()];
+        for r in roots {
+            if !r.is_empty() {
+                marked[r.0 as usize] = true;
+            }
+        }
+        for i in (0..src.nodes.len()).rev() {
+            if marked[i] && !src.nodes[i].parent.is_empty() {
+                marked[src.nodes[i].parent.0 as usize] = true;
+            }
+        }
+        let mut remap: Vec<PathId> = vec![PathId::EMPTY; src.nodes.len()];
+        for (i, node) in src.nodes.iter().enumerate() {
+            if !marked[i] {
+                continue;
+            }
+            let parent = if node.parent.is_empty() {
+                PathId::EMPTY
+            } else {
+                remap[node.parent.0 as usize]
+            };
+            remap[i] = self.push(parent, node.asn);
+        }
+        remap
+    }
+
+    /// Incremental rooted merge for *repeated* absorption from a source
+    /// arena that only grows between calls. Semantically each call is
+    /// [`PathArena::absorb_rooted`] for the new roots, but the remap
+    /// table persists across calls in `remap` (`remap[i]` is this
+    /// arena's id for source node `i`, [`PathId::EMPTY`] = not yet
+    /// absorbed), so a root whose ancestor chain was already interned
+    /// costs one table lookup instead of a full source scan. Total cost
+    /// over a campaign is O(union tree + Σ roots) rather than
+    /// O(epochs × source nodes).
+    ///
+    /// The cache keys on source node ids, so it is only valid while
+    /// `src` is append-only: after the source arena is cleared or
+    /// truncated (an event-cap cold restart), the caller must
+    /// `remap.clear()` before the next call or stale ids will alias.
+    pub fn absorb_rooted_cached(
+        &mut self,
+        src: &PathArena,
+        roots: &[PathId],
+        remap: &mut Vec<PathId>,
+    ) {
+        let _span = trackdown_obs::span("arena.absorb")
+            .attr("nodes", src.nodes.len() as u64)
+            .attr("roots", roots.len() as u64);
+        remap.resize(src.nodes.len(), PathId::EMPTY);
+        // Scratch for the not-yet-absorbed suffix of one ancestor chain,
+        // reused across roots.
+        let mut chain: Vec<u32> = Vec::new();
+        for &root in roots {
+            let mut cur = root;
+            while !cur.is_empty() && remap[cur.0 as usize].is_empty() {
+                chain.push(cur.0);
+                cur = src.nodes[cur.0 as usize].parent;
+            }
+            // Intern parent-first so each child sees its parent's
+            // canonical id.
+            for &i in chain.iter().rev() {
+                let parent = src.nodes[i as usize].parent;
+                let parent = if parent.is_empty() {
+                    PathId::EMPTY
+                } else {
+                    remap[parent.0 as usize]
+                };
+                remap[i as usize] = self.push(parent, src.nodes[i as usize].asn);
+            }
+            chain.clear();
+        }
+    }
 }
 
 /// An immutable snapshot of a [`PathArena`]'s node table, carried by
@@ -407,6 +498,75 @@ mod tests {
             AsPath::from_sequence([Asn(7), Asn(2), Asn(1)])
         );
         assert_eq!(live.num_nodes(), 3);
+    }
+
+    #[test]
+    fn absorb_rooted_skips_unreferenced_subtrees() {
+        let mut src = PathArena::new();
+        let kept_a = src.intern_path(&AsPath::from_sequence([Asn(4), Asn(3), Asn(1)]));
+        let kept_b = src.intern_path(&AsPath::from_sequence([Asn(5), Asn(3), Asn(1)]));
+        // Candidate-only subtree no best route references.
+        let dropped = src.intern_path(&AsPath::from_sequence([Asn(9), Asn(8), Asn(7)]));
+
+        let mut merged = PathArena::new();
+        let remap = merged.absorb_rooted(&src, &[kept_a, kept_b, PathId::EMPTY, kept_a]);
+        assert_eq!(
+            merged.materialize(remap[kept_a.0 as usize]),
+            AsPath::from_sequence([Asn(4), Asn(3), Asn(1)])
+        );
+        assert_eq!(
+            merged.materialize(remap[kept_b.0 as usize]),
+            AsPath::from_sequence([Asn(5), Asn(3), Asn(1)])
+        );
+        // Only the rooted union tree was absorbed: 1, 1-3, 1-3-4, 1-3-5.
+        assert_eq!(merged.num_nodes(), 4);
+        assert_eq!(remap[dropped.0 as usize], PathId::EMPTY);
+        // Rooted absorb composes canonically with a full absorb.
+        let full = merged.absorb_store(&src.store());
+        assert_eq!(full[kept_a.0 as usize], remap[kept_a.0 as usize]);
+        assert_eq!(merged.num_nodes(), src.num_nodes());
+    }
+
+    #[test]
+    fn absorb_rooted_cached_matches_one_shot_and_reuses_the_cache() {
+        let mut src = PathArena::new();
+        let a = src.intern_path(&AsPath::from_sequence([Asn(4), Asn(3), Asn(1)]));
+        let b = src.intern_path(&AsPath::from_sequence([Asn(5), Asn(3), Asn(1)]));
+        let _cand = src.intern_path(&AsPath::from_sequence([Asn(9), Asn(8), Asn(7)]));
+
+        // Epoch 1: absorb `a`'s chain incrementally.
+        let mut merged = PathArena::new();
+        let mut cache = Vec::new();
+        merged.absorb_rooted_cached(&src, &[a, PathId::EMPTY, a], &mut cache);
+        assert_eq!(
+            merged.materialize(cache[a.0 as usize]),
+            AsPath::from_sequence([Asn(4), Asn(3), Asn(1)])
+        );
+        let after_first = merged.num_nodes();
+        assert_eq!(after_first, 3);
+
+        // Re-absorbing a cached root interns nothing new.
+        merged.absorb_rooted_cached(&src, &[a], &mut cache);
+        assert_eq!(merged.num_nodes(), after_first);
+
+        // The source grows append-only; the next epoch only pays for the
+        // suffix of `d`'s chain below the cached 1-3 prefix, plus `b`.
+        let d = src.intern_path(&AsPath::from_sequence([Asn(6), Asn(4), Asn(3), Asn(1)]));
+        merged.absorb_rooted_cached(&src, &[b, d], &mut cache);
+        assert_eq!(
+            merged.materialize(cache[d.0 as usize]),
+            AsPath::from_sequence([Asn(6), Asn(4), Asn(3), Asn(1)])
+        );
+
+        // The incremental result is exactly the one-shot rooted absorb
+        // of the same root set: same union tree, candidate excluded.
+        let mut oneshot = PathArena::new();
+        let remap = oneshot.absorb_rooted(&src, &[a, b, d]);
+        assert_eq!(merged.num_nodes(), oneshot.num_nodes());
+        assert_eq!(
+            oneshot.materialize(remap[b.0 as usize]),
+            merged.materialize(cache[b.0 as usize])
+        );
     }
 
     #[test]

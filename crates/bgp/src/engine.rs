@@ -9,7 +9,7 @@
 //! which Gao-Rexford-compliant policies guarantee; an event cap guards
 //! against dispute wheels introduced by policy violators.
 
-use crate::arena::{PathArena, PathStore};
+use crate::arena::{PathArena, PathId, PathStore};
 use crate::community::CommunityBits;
 use crate::delta::{diff_injections, PropagationRanks};
 use crate::origin::{Injection, LinkAnnouncement, OriginAs, OriginError};
@@ -17,6 +17,7 @@ use crate::policy::{PolicyConfig, PolicyTable};
 use crate::route::{LinkId, Route};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::ops::Range;
 use trackdown_topology::{cone::ConeInfo, AsIndex, AsPath, NeighborKind, Topology};
 
 /// Engine configuration: policy knobs plus the convergence guard.
@@ -331,14 +332,26 @@ impl<'t> BgpEngine<'t> {
     }
 
     /// Run best-path selection at `at` over the direct injections and the
-    /// Adj-RIB-In.
-    fn decide(&self, at: AsIndex, direct: &[Route], rib: &[Option<Route>]) -> Option<Route> {
-        let mut best: Option<&Route> = None;
-        for cand in direct.iter().chain(rib.iter().flatten()) {
+    /// AS's CSR slot range of the flat Adj-RIB-In. Candidate order is
+    /// direct routes first, then present slots ascending — the same order
+    /// the per-AS vectors yielded, so tiebreak outcomes are bit-identical.
+    fn decide(
+        &self,
+        at: AsIndex,
+        direct: &[Route],
+        ribs: &RouteSoa,
+        slots: Range<usize>,
+    ) -> Option<Route> {
+        let mut best: Option<Route> = None;
+        for cand in direct
+            .iter()
+            .copied()
+            .chain(ribs.present_in(slots).map(|s| ribs.route_at(s)))
+        {
             best = match best {
                 None => Some(cand),
                 Some(cur) => {
-                    if self.better(at, cand, cur) {
+                    if self.better(at, &cand, &cur) {
                         Some(cand)
                     } else {
                         Some(cur)
@@ -346,7 +359,7 @@ impl<'t> BgpEngine<'t> {
                 }
             };
         }
-        best.copied()
+        best
     }
 
     /// Propagate a set of origin injections to fixpoint (cold start:
@@ -757,6 +770,36 @@ impl<'e, 't> CampaignSession<'e, 't> {
         self.sim.arena.store()
     }
 
+    /// Absorb the ancestor chains of `roots` — [`crate::PathId`]s valid
+    /// for the *current* session arena, e.g. read off the latest epoch
+    /// outcome's best routes — into `merged` through its canonical
+    /// interning map (see [`PathArena::absorb_rooted`]).
+    ///
+    /// Sharded campaign executors call this right after each deployment,
+    /// **before** any later event-cap cold restart can truncate the
+    /// session arena and dangle the ids. The merged arena then bounds
+    /// memory by the union tree of routes that were ever *selected*
+    /// rather than every candidate the campaign interned.
+    pub fn absorb_paths_rooted(&self, merged: &mut PathArena, roots: &[PathId]) {
+        merged.absorb_rooted(&self.sim.arena, roots);
+    }
+
+    /// Incremental form of [`CampaignSession::absorb_paths_rooted`] for
+    /// per-epoch absorption: `remap` carries the session-arena → merged
+    /// id table across calls so each epoch pays only for chains not yet
+    /// interned. The caller must `remap.clear()` whenever
+    /// [`CampaignSession::cold_restarts`] has advanced since the last
+    /// call — [`CampaignSession::reset`] is the only arena truncation
+    /// point, so that counter is exactly the cache invalidation signal.
+    pub fn absorb_paths_rooted_cached(
+        &self,
+        merged: &mut PathArena,
+        roots: &[PathId],
+        remap: &mut Vec<PathId>,
+    ) {
+        merged.absorb_rooted_cached(&self.sim.arena, roots, remap);
+    }
+
     /// Configurations deployed through this session.
     pub fn deployments(&self) -> usize {
         self.deployments
@@ -776,6 +819,152 @@ impl<'e, 't> CampaignSession<'e, 't> {
     }
 }
 
+/// Structure-of-arrays route table: one parallel column per [`Route`]
+/// attribute plus a u64 presence bitset over slot indices.
+///
+/// Both the flat CSR Adj-RIB-In (slot = `rib_offsets[as] + neighbor_pos`)
+/// and the per-AS best table (slot = AS index) use this layout, so
+/// [`BgpEngine::decide`] and the drain loop stream contiguous memory
+/// instead of chasing per-AS heap vectors, absent slots are skipped a
+/// word at a time without loading any route bytes, and an epoch clear is
+/// an O(slots/64) zero of the presence words rather than an O(slots)
+/// `Option` fill.
+struct RouteSoa {
+    path_id: Vec<PathId>,
+    path_len: Vec<u32>,
+    ingress: Vec<LinkId>,
+    /// Announcing neighbor index + 1; 0 = learned directly from the
+    /// origin (the `Option<AsIndex>` niche, flattened into the column).
+    from_neighbor: Vec<u32>,
+    local_pref: Vec<u32>,
+    learned_from: Vec<NeighborKind>,
+    communities: Vec<CommunityBits>,
+    /// Bit `s` set ⟺ slot `s` holds a route; column contents of absent
+    /// slots are stale filler and never read.
+    present: Vec<u64>,
+}
+
+impl RouteSoa {
+    fn new(slots: usize) -> RouteSoa {
+        RouteSoa {
+            path_id: vec![PathId::EMPTY; slots],
+            path_len: vec![0; slots],
+            ingress: vec![LinkId(0); slots],
+            from_neighbor: vec![0; slots],
+            local_pref: vec![0; slots],
+            learned_from: vec![NeighborKind::Customer; slots],
+            communities: vec![CommunityBits::EMPTY; slots],
+            present: vec![0; slots.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn is_present(&self, s: usize) -> bool {
+        self.present[s / 64] & (1 << (s % 64)) != 0
+    }
+
+    /// Gather slot `s`'s columns into a [`Route`]. Caller must have
+    /// checked presence.
+    #[inline]
+    fn route_at(&self, s: usize) -> Route {
+        Route {
+            path_id: self.path_id[s],
+            path_len: self.path_len[s],
+            ingress: self.ingress[s],
+            from_neighbor: match self.from_neighbor[s] {
+                0 => None,
+                v => Some(AsIndex(v - 1)),
+            },
+            local_pref: self.local_pref[s],
+            learned_from: self.learned_from[s],
+            communities: self.communities[s],
+        }
+    }
+
+    #[inline]
+    fn get(&self, s: usize) -> Option<Route> {
+        self.is_present(s).then(|| self.route_at(s))
+    }
+
+    #[inline]
+    fn set(&mut self, s: usize, r: Option<Route>) {
+        match r {
+            Some(r) => {
+                self.present[s / 64] |= 1 << (s % 64);
+                self.path_id[s] = r.path_id;
+                self.path_len[s] = r.path_len;
+                self.ingress[s] = r.ingress;
+                self.from_neighbor[s] = r.from_neighbor.map(|n| n.0 + 1).unwrap_or(0);
+                self.local_pref[s] = r.local_pref;
+                self.learned_from[s] = r.learned_from;
+                self.communities[s] = r.communities;
+            }
+            None => self.present[s / 64] &= !(1 << (s % 64)),
+        }
+    }
+
+    /// Column-wise equality of slot `s` against an optional route,
+    /// without gathering a `Route` value.
+    #[inline]
+    fn matches(&self, s: usize, r: &Option<Route>) -> bool {
+        match r {
+            None => !self.is_present(s),
+            Some(r) => {
+                self.is_present(s)
+                    && self.path_id[s] == r.path_id
+                    && self.path_len[s] == r.path_len
+                    && self.ingress[s] == r.ingress
+                    && self.from_neighbor[s] == r.from_neighbor.map(|n| n.0 + 1).unwrap_or(0)
+                    && self.local_pref[s] == r.local_pref
+                    && self.learned_from[s] == r.learned_from
+                    && self.communities[s] == r.communities
+            }
+        }
+    }
+
+    /// Present slot indices within `slots`, ascending; all-absent words
+    /// are skipped with one load each.
+    fn present_in(&self, slots: Range<usize>) -> impl Iterator<Item = usize> + '_ {
+        let Range { start, end } = slots;
+        let wstart = start / 64;
+        let wend = end.div_ceil(64);
+        self.present[wstart..wend]
+            .iter()
+            .enumerate()
+            .flat_map(move |(k, &word)| {
+                let w = wstart + k;
+                let mut bits = word;
+                if w * 64 < start {
+                    bits &= !0u64 << (start - w * 64);
+                }
+                if (w + 1) * 64 > end {
+                    let keep = end - w * 64;
+                    bits &= if keep == 64 { !0 } else { (1u64 << keep) - 1 };
+                }
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let t = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(w * 64 + t)
+                })
+            })
+    }
+
+    /// Drop every route: zero the presence words, leaving column filler
+    /// in place. O(slots/64).
+    fn clear(&mut self) {
+        self.present.fill(0);
+    }
+
+    /// Materialize the whole table as the dense `Option` form (snapshot
+    /// boundary — [`RoutingOutcome::best`] keeps its public shape).
+    fn to_options(&self) -> Vec<Option<Route>> {
+        (0..self.path_id.len()).map(|s| self.get(s)).collect()
+    }
+}
+
 /// Mutable propagation state: per-AS direct routes, Adj-RIB-Ins, best
 /// routes, and the activation queue. One [`Simulation`] can run several
 /// epochs (configuration deployments) back to back, which is how
@@ -789,8 +978,15 @@ struct Simulation<'e, 't> {
     /// converge to a high-water set instead of growing without bound.
     arena: PathArena,
     direct: Vec<Vec<Route>>,
-    ribs: Vec<Vec<Option<Route>>>,
-    best: Vec<Option<Route>>,
+    /// CSR offsets into the flat Adj-RIB-In: AS `i`'s per-neighbor slots
+    /// are `rib_offsets[i] .. rib_offsets[i + 1]`, in the same sorted
+    /// order [`BgpEngine::neighbor_pos`] indexes. Length `n + 1`,
+    /// precomputed once from the (immutable) topology degrees.
+    rib_offsets: Vec<u32>,
+    /// Flat structure-of-arrays Adj-RIB-In over CSR slots.
+    ribs: RouteSoa,
+    /// Best routes as SoA columns over AS index.
+    best: RouteSoa,
     queue: VecDeque<AsIndex>,
     in_queue: Vec<bool>,
     /// Rank-ordered activation queue used instead of `queue` while
@@ -833,12 +1029,20 @@ impl<'e, 't> Simulation<'e, 't> {
     fn new(engine: &'e BgpEngine<'t>) -> Simulation<'e, 't> {
         let topo = engine.topo;
         let n = topo.num_ases();
+        let mut rib_offsets = Vec::with_capacity(n + 1);
+        let mut total = 0u32;
+        rib_offsets.push(0);
+        for i in topo.indices() {
+            total += topo.degree(i) as u32;
+            rib_offsets.push(total);
+        }
         Simulation {
             engine,
             arena: PathArena::new(),
             direct: vec![Vec::new(); n],
-            ribs: topo.indices().map(|i| vec![None; topo.degree(i)]).collect(),
-            best: vec![None; n],
+            rib_offsets,
+            ribs: RouteSoa::new(total as usize),
+            best: RouteSoa::new(n),
             queue: VecDeque::new(),
             in_queue: vec![false; n],
             buckets: Vec::new(),
@@ -868,10 +1072,8 @@ impl<'e, 't> Simulation<'e, 't> {
         for d in &mut self.direct {
             d.clear();
         }
-        for rib in &mut self.ribs {
-            rib.fill(None);
-        }
-        self.best.fill(None);
+        self.ribs.clear();
+        self.best.clear();
         self.queue.clear();
         self.in_queue.fill(false);
         for b in &mut self.buckets {
@@ -887,6 +1089,12 @@ impl<'e, 't> Simulation<'e, 't> {
         self.events = 0;
         self.converged = true;
         self.bump_epoch_stamp();
+    }
+
+    /// CSR slot range of AS `i`'s Adj-RIB-In.
+    #[inline]
+    fn rib_slots(&self, i: AsIndex) -> Range<usize> {
+        self.rib_offsets[i.us()] as usize..self.rib_offsets[i.us() + 1] as usize
     }
 
     /// Open a fresh disturbance-tracking window: the next first change of
@@ -1036,15 +1244,15 @@ impl<'e, 't> Simulation<'e, 't> {
                 self.converged = false;
                 break;
             }
-            let new_best = engine.decide(i, &self.direct[i.us()], &self.ribs[i.us()]);
-            if new_best == self.best[i.us()] {
+            let new_best = engine.decide(i, &self.direct[i.us()], &self.ribs, self.rib_slots(i));
+            if self.best.matches(i.us(), &new_best) {
                 continue;
             }
             if self.touched[i.us()] != self.epoch_stamp {
                 self.touched[i.us()] = self.epoch_stamp;
-                self.pre_epoch.push((i, self.best[i.us()]));
+                self.pre_epoch.push((i, self.best.get(i.us())));
             }
-            self.best[i.us()] = new_best;
+            self.best.set(i.us(), new_best);
             self.depth[i.us()] = self.pending_depth[i.us()];
             self.max_depth = self.max_depth.max(self.depth[i.us()]);
             self.changes.push(RouteChange {
@@ -1105,7 +1313,8 @@ impl<'e, 't> Simulation<'e, 't> {
                     _ => None,
                 };
                 let pos = engine.neighbor_pos(j, i).expect("adjacency is symmetric");
-                if self.ribs[j.us()][pos] != offer {
+                let slot = self.rib_offsets[j.us()] as usize + pos;
+                if !self.ribs.matches(slot, &offer) {
                     // Delta epochs terminate at ASes whose best route is
                     // provably unchanged: if the rewritten slot is not the
                     // source of j's current best and the new offer is not
@@ -1119,14 +1328,14 @@ impl<'e, 't> Simulation<'e, 't> {
                     // comparing against `best[j]` is sound.
                     let relevant = !self.ranked
                         || self.in_queue[j.us()]
-                        || match &self.best[j.us()] {
+                        || match self.best.get(j.us()) {
                             Some(b) => {
                                 b.from_neighbor == Some(i)
-                                    || offer.as_ref().is_some_and(|o| engine.better(j, o, b))
+                                    || offer.as_ref().is_some_and(|o| engine.better(j, o, &b))
                             }
                             None => true,
                         };
-                    self.ribs[j.us()][pos] = offer;
+                    self.ribs.set(slot, offer);
                     if relevant {
                         self.pending_depth[j.us()] =
                             self.pending_depth[j.us()].max(self.depth[i.us()] + 1);
@@ -1141,10 +1350,11 @@ impl<'e, 't> Simulation<'e, 't> {
     fn capture_candidates(&self) -> Vec<Vec<Route>> {
         (0..self.direct.len())
             .map(|i| {
+                let slots = self.rib_slots(AsIndex(i as u32));
                 self.direct[i]
                     .iter()
-                    .chain(self.ribs[i].iter().flatten())
                     .copied()
+                    .chain(self.ribs.present_in(slots).map(|s| self.ribs.route_at(s)))
                     .collect()
             })
             .collect()
@@ -1159,7 +1369,7 @@ impl<'e, 't> Simulation<'e, 't> {
     fn routes_disturbed(&self) -> usize {
         self.pre_epoch
             .iter()
-            .filter(|(i, pre)| self.best[i.us()] != *pre)
+            .filter(|(i, pre)| self.best.get(i.us()) != *pre)
             .count()
     }
 
@@ -1171,7 +1381,7 @@ impl<'e, 't> Simulation<'e, 't> {
             SnapshotDetail::Full => (Some(self.capture_candidates()), self.arena.store()),
         };
         RoutingOutcome {
-            best: self.best,
+            best: self.best.to_options(),
             candidates,
             paths,
             events: self.events,
@@ -1192,7 +1402,7 @@ impl<'e, 't> Simulation<'e, 't> {
             SnapshotDetail::Full => (Some(self.capture_candidates()), self.arena.store()),
         };
         RoutingOutcome {
-            best: self.best.clone(),
+            best: self.best.to_options(),
             candidates,
             paths,
             events: self.events,

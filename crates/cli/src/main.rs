@@ -65,19 +65,24 @@ fn usage() -> ExitCode {
         "trackdown — BGP-steered localization of spoofed-traffic sources
 
 USAGE:
-  trackdown topology  [--scale small|medium|full|large] [--seed N] [--format as-rel|dot] [--out FILE]
-  trackdown campaign  [--scale small|medium|full|large] [--seed N] [--measured] [--cold]
-                      [--delta] [--shards N] [--threads N] --out FILE [--metrics-out FILE]
+  trackdown topology  [--scale small|medium|full|large|internet] [--seed N] [--format as-rel|dot] [--out FILE]
+  trackdown campaign  [--scale small|medium|full|large|internet] [--seed N] [--measured] [--cold]
+                      [--delta] [--shards N|auto] [--threads N] --out FILE [--metrics-out FILE]
                       [--metrics-deterministic]
   trackdown info      --dataset FILE
   trackdown localize  --dataset FILE --attacker ASN [--attacker ASN ...] [--volume BYTES]
   trackdown hijack    --dataset FILE [--config K]
   trackdown bench-snapshot [--out FILE]
   trackdown validate-manifest --manifest FILE
-  trackdown profile   [--scale S] [--seed N] [--measured] [--cold] [--delta] [--shards N]
+  trackdown profile   [--scale S] [--seed N] [--measured] [--cold] [--delta] [--shards N|auto]
                       [--threads N] [--trace-out FILE]
   trackdown perf-report [--baseline FILE] [--current FILE] [--tolerance PCT]
                       [--report-only] [--out FILE]
+
+The internet scale loads the CAIDA as-rel snapshot named by the
+TRACKDOWN_AS_REL environment variable when set, and falls back to a
+deterministic 80k-AS power-law graph otherwise. --shards auto (the
+default) tunes the extraction shard count from threads and topology.
 
 profile runs one traced campaign, writes a Chrome trace-event JSON
 (load it at https://ui.perfetto.dev) and prints a self-profile table.
@@ -154,7 +159,10 @@ impl Args {
         opts.cold = self.has("--cold");
         opts.delta = self.has("--delta");
         if let Some(s) = self.get("--shards") {
-            opts.shards = s.parse().ok().filter(|&v| v >= 1)?;
+            opts.shards = match s {
+                "auto" => 0,
+                _ => s.parse().ok()?,
+            };
         }
         if let Some(s) = self.get("--threads") {
             opts.threads = Some(s.parse().ok().filter(|&v| v >= 1)?);
@@ -456,21 +464,39 @@ struct BenchSnapshot {
     /// `large_1t_ms / large_8t_ms` — CI gates this against a
     /// core-count-adaptive floor (3.0 on ≥ 8-core machines).
     large_shard_speedup: f64,
+    /// ASes in the schema-6 `internet` arm's 80k power-law topology.
+    internet_ases: u64,
+    /// Tracked sources (baseline anycast coverage) in the internet arm.
+    internet_tracked: u64,
+    /// Configurations in the internet arm's trimmed schedule.
+    internet_configs: u64,
+    /// Effective extraction shards chosen by `ShardPlan::auto` for the
+    /// internet arm's 8-thread run (the 1-thread run auto-tunes to 1).
+    internet_shards: u64,
+    /// Sharded internet campaign wall-clock with 1 worker thread (ms).
+    internet_1t_ms: f64,
+    /// Sharded internet campaign wall-clock with 8 worker threads (ms).
+    internet_8t_ms: f64,
+    /// `internet_1t_ms / internet_8t_ms` — CI gates this with the same
+    /// core-count-adaptive floor as the large arm (SKIP on 1 core).
+    internet_shard_speedup: f64,
 }
 
-/// The schema-4 paper-scale arm: the power-law `large` scenario (≥ 10k
-/// ASes, ≥ 5k tracked sources) driven through the sharded batch-catchment
-/// executor on a Gao-Rexford-clean engine. Correctness first — the
-/// 8-shard run must reproduce the unsharded parallel path exactly — then
-/// the 1-thread vs 8-thread sharded timing the CI speedup gate reads.
-fn bench_large_arm() -> Result<(u64, u64, u64, u64, f64, f64), String> {
+/// A paper-scale sharded bench arm: the given power-law scenario driven
+/// through the sharded batch-catchment executor on a Gao-Rexford-clean
+/// engine. Correctness first — the sharded run must reproduce the
+/// unsharded parallel path exactly — then the 1-thread vs 8-thread
+/// sharded timing the CI speedup gate reads. `shards == 0` auto-tunes
+/// per run (each thread count gets the plan `ShardPlan::auto` would
+/// give it); the returned shard count is the 8-thread run's effective
+/// plan.
+fn bench_scale_arm(scale: Scale, shards: usize) -> Result<(u64, u64, u64, u64, f64, f64), String> {
     use trackdown_core::localize::{
         run_campaign_parallel_mode, run_campaign_sharded_mode, CampaignMode, CatchmentSource,
     };
 
-    const SHARDS: usize = 8;
     let scenario = Scenario::build(Options {
-        scale: Scale::Large,
+        scale,
         seed: 7,
         ..Options::default()
     });
@@ -492,7 +518,7 @@ fn bench_large_arm() -> Result<(u64, u64, u64, u64, f64, f64), String> {
             CatchmentSource::ControlPlane,
             scenario.engine_cfg.max_events_factor,
             threads,
-            SHARDS,
+            shards,
             CampaignMode::Warm,
         );
         (campaign, t.elapsed().as_secs_f64() * 1e3)
@@ -514,14 +540,17 @@ fn bench_large_arm() -> Result<(u64, u64, u64, u64, f64, f64), String> {
         || sharded.clustering.clusters() != unsharded.clustering.clusters()
         || sharded.records != unsharded.records
     {
-        return Err("sharded/unsharded large campaigns diverged; bench snapshot aborted".into());
+        return Err(format!(
+            "sharded/unsharded {} campaigns diverged; bench snapshot aborted",
+            scale.label()
+        ));
     }
     let (_c1, t1) = run_sharded(1);
     Ok((
         scenario.gen.topology.num_ases() as u64,
         sharded.tracked.len() as u64,
         schedule.len() as u64,
-        SHARDS as u64,
+        sharded.stats.shards as u64,
         t1,
         t8,
     ))
@@ -738,13 +767,21 @@ fn bench_snapshot() -> Result<BenchSnapshot, String> {
         bench_attribution_arms()?;
 
     let (large_ases, large_tracked, large_configs, large_shards, large_1t_ms, large_8t_ms) =
-        bench_large_arm()?;
+        bench_scale_arm(Scale::Large, 8)?;
+    let (
+        internet_ases,
+        internet_tracked,
+        internet_configs,
+        internet_shards,
+        internet_1t_ms,
+        internet_8t_ms,
+    ) = bench_scale_arm(Scale::Internet, 0)?;
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1) as u64;
 
     let snap = BenchSnapshot {
-        schema: 5,
+        schema: 6,
         bench: "pipeline".into(),
         scale: "small".into(),
         seed: 7,
@@ -778,6 +815,13 @@ fn bench_snapshot() -> Result<BenchSnapshot, String> {
         large_1t_ms: (large_1t_ms * 1e3).round() / 1e3,
         large_8t_ms: (large_8t_ms * 1e3).round() / 1e3,
         large_shard_speedup: ((large_1t_ms / large_8t_ms) * 1e3).round() / 1e3,
+        internet_ases,
+        internet_tracked,
+        internet_configs,
+        internet_shards,
+        internet_1t_ms: (internet_1t_ms * 1e3).round() / 1e3,
+        internet_8t_ms: (internet_8t_ms * 1e3).round() / 1e3,
+        internet_shard_speedup: ((internet_1t_ms / internet_8t_ms) * 1e3).round() / 1e3,
     };
     Ok(snap)
 }
@@ -791,7 +835,9 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
         "wrote {out_path} (warm {:.1} ms, cold {:.1} ms, speedup {:.2}x; \
          delta {:.1} ms, {:.2}x fewer events than warm; \
          attribution indexed {:.1} ms vs scan {:.1} ms, {:.1}x; \
-         large {} ASes/{} tracked sharded 1t {:.0} ms vs 8t {:.0} ms, {:.2}x on {} cores)",
+         large {} ASes/{} tracked sharded 1t {:.0} ms vs 8t {:.0} ms, {:.2}x; \
+         internet {} ASes/{} tracked sharded 1t {:.0} ms vs 8t {:.0} ms, {:.2}x \
+         on {} cores)",
         snap.warm_ms,
         snap.cold_ms,
         snap.speedup,
@@ -805,6 +851,11 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
         snap.large_1t_ms,
         snap.large_8t_ms,
         snap.large_shard_speedup,
+        snap.internet_ases,
+        snap.internet_tracked,
+        snap.internet_1t_ms,
+        snap.internet_8t_ms,
+        snap.internet_shard_speedup,
         snap.cores
     );
     Ok(())

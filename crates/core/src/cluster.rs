@@ -243,8 +243,12 @@ impl Clustering {
         let mut parent_of: Vec<u32> = Vec::new();
         let mut link_of: Vec<Option<LinkId>> = Vec::new();
         let mut next = 0u32;
+        // One dense materialization (a word-scan over the bitset rows)
+        // instead of a per-source `Catchments::get`, whose row probe is
+        // O(active links) — per-source lookups below are then O(1).
+        let dense = catchments.dense();
         for (k, &s) in self.sources.iter().enumerate() {
-            let key = (self.assignment[k], catchments.get(s));
+            let key = (self.assignment[k], dense[s.us()]);
             let id = *remap.entry(key).or_insert_with(|| {
                 let id = next;
                 next += 1;

@@ -566,7 +566,7 @@ pub fn run_campaign_recorded(
             // Track every source the baseline reaches.
             let tracked: Vec<AsIndex> = topo
                 .indices()
-                .filter(|&i| catchments[0].get(i).is_some())
+                .filter(|&i| catchments[0].is_assigned(i))
                 .collect();
             (catchments, tracked, None)
         }
@@ -823,7 +823,7 @@ pub fn run_campaign_parallel_recorded(
     }
     let tracked: Vec<AsIndex> = topo
         .indices()
-        .filter(|&i| catchments[0].get(i).is_some())
+        .filter(|&i| catchments[0].is_assigned(i))
         .collect();
     assemble_campaign(configs, catchments, converged, tracked, None, stats)
 }
@@ -831,37 +831,66 @@ pub fn run_campaign_parallel_recorded(
 /// Partition of the AS index space into contiguous, equal-width shards
 /// for catchment extraction.
 ///
-/// The plan is a pure function of `(num_ases, num_shards)`: shard `s`
-/// covers `[s·⌈n/k⌉, (s+1)·⌈n/k⌉) ∩ [0, n)`. Because shards slice the
-/// *extraction* of each configuration's fixpoint — never the propagation
-/// itself — the assembled catchments are bit-identical for every shard
-/// count, which is what lets the sharded executor promise manifest
-/// byte-identity across `--shards`.
+/// The plan is a pure function of `(num_ases, num_shards)`: the chunk
+/// width is `⌈n/k⌉` rounded up to a multiple of 64 so every shard
+/// boundary is u64-word-aligned in the bitset catchment rows (the
+/// [`trackdown_bgp::Catchments::assemble`] merge then ORs whole words
+/// instead of shifting across word boundaries). The effective shard
+/// count is recomputed from the rounded chunk, so no shard is ever
+/// empty. Because shards slice the *extraction* of each configuration's
+/// fixpoint — never the propagation itself — the assembled catchments
+/// are bit-identical for every shard count, which is what lets the
+/// sharded executor promise manifest byte-identity across `--shards`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardPlan {
     num_ases: usize,
+    chunk: usize,
     num_shards: usize,
 }
 
 impl ShardPlan {
-    /// Plan `num_shards` shards over `num_ases` ASes (clamped to
-    /// `1..=num_ases` so no shard is empty).
+    /// Smallest AS span worth a dedicated extraction task: below this,
+    /// per-task overhead (queue round-trip, slot bookkeeping) rivals the
+    /// scan itself, so [`ShardPlan::auto`] refuses to split further.
+    const MIN_SPAN: usize = 4096;
+
+    /// Plan `num_shards` shards over `num_ases` ASes. The request is
+    /// clamped to `1..=num_ases` and the chunk is rounded up to a
+    /// 64-AS multiple, so the effective [`Self::num_shards`] may be
+    /// smaller than requested but never yields an empty shard.
     pub fn new(num_ases: usize, num_shards: usize) -> ShardPlan {
+        let requested = num_shards.clamp(1, num_ases.max(1));
+        let chunk = num_ases.div_ceil(requested).next_multiple_of(64).max(64);
         ShardPlan {
             num_ases,
-            num_shards: num_shards.clamp(1, num_ases.max(1)),
+            chunk,
+            num_shards: num_ases.div_ceil(chunk).max(1),
         }
     }
 
-    /// Number of shards after clamping.
+    /// Auto-tune the shard count from the worker-thread count: enough
+    /// shards that every thread can drain roughly two extraction tasks
+    /// per epoch (hiding producer/stealer imbalance), but never so many
+    /// that a shard spans fewer than [`Self::MIN_SPAN`] ASes — per-shard
+    /// extraction work is proportional to its AS span, so tiny shards
+    /// are pure queue overhead. Single-threaded runs get one shard:
+    /// there is nobody to share the extraction with.
+    pub fn auto(num_ases: usize, threads: usize) -> ShardPlan {
+        if threads <= 1 {
+            return ShardPlan::new(num_ases, 1);
+        }
+        let cap = num_ases.div_ceil(Self::MIN_SPAN).max(1);
+        ShardPlan::new(num_ases, (threads * 2).min(cap))
+    }
+
+    /// Number of shards after clamping and 64-alignment.
     pub fn num_shards(&self) -> usize {
         self.num_shards
     }
 
     /// The AS-index range shard `s` covers.
     pub fn range(&self, shard: usize) -> std::ops::Range<usize> {
-        let chunk = self.num_ases.div_ceil(self.num_shards);
-        (shard * chunk).min(self.num_ases)..((shard + 1) * chunk).min(self.num_ases)
+        (shard * self.chunk).min(self.num_ases)..((shard + 1) * self.chunk).min(self.num_ases)
     }
 
     /// All shard ranges, in order; they tile `0..num_ases` exactly.
@@ -958,12 +987,19 @@ pub fn run_campaign_sharded_mode(
 /// per-epoch slices reassemble with [`Catchments::assemble`] into exactly
 /// the whole-topology extraction, in schedule order.
 ///
-/// **Memory** stays bounded per the tentpole contract: each worker keeps
-/// one path arena (its session's), and after the batch the per-worker
-/// arenas are merged through [`trackdown_bgp::PathArena::absorb_store`]'s
-/// canonical interning — `stats.merged_arena_nodes` is the size of that
-/// union arena, which shared prefixes keep near the per-worker peak
-/// instead of `threads ×` it.
+/// **Memory** stays bounded per the tentpole contract: right after each
+/// deployment every worker absorbs only the paths its changed routes
+/// actually reference into a private collector arena (incremental rooted
+/// absorption via [`trackdown_bgp::PathArena::absorb_rooted_cached`],
+/// taken before any event-cap cold restart can truncate the session
+/// arena), and at join
+/// the collectors merge through canonical interning —
+/// `stats.merged_arena_nodes` is the size of that union arena, which
+/// root filtering plus shared prefixes keep near the *referenced* path
+/// set instead of `threads ×` the full per-worker arenas.
+///
+/// Passing `shards == 0` auto-tunes the shard count from the thread
+/// count via [`ShardPlan::auto`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_campaign_sharded_recorded(
     engine: &BgpEngine<'_>,
@@ -988,7 +1024,11 @@ pub fn run_campaign_sharded_recorded(
     let _span = trackdown_obs::span("campaign.run");
     let topo = engine.topology();
     let threads = threads.max(1);
-    let plan = ShardPlan::new(topo.num_ases(), shards);
+    let plan = if shards == 0 {
+        ShardPlan::auto(topo.num_ases(), threads)
+    } else {
+        ShardPlan::new(topo.num_ases(), shards)
+    };
     let num_shards = plan.num_shards();
     let chunk_size = configs.len().div_ceil(threads);
     let num_workers = configs.chunks(chunk_size).len();
@@ -1053,6 +1093,21 @@ pub fn run_campaign_sharded_recorded(
                     CampaignMode::Cold => (0..chunk.len()).collect(),
                 };
                 let mut session = engine.session();
+                // Per-worker path collector: right after each deployment
+                // the ancestor chains of routes the epoch actually
+                // selected are absorbed here (rooted, so candidate-only
+                // paths never leave the session arena, and a later
+                // event-cap cold restart cannot dangle the ids).
+                // Warm/Delta only — cold epochs propagate in a per-call
+                // simulation whose arena is gone once the outcome returns.
+                let mut collector = trackdown_bgp::PathArena::new();
+                // Session-arena → collector id cache for the incremental
+                // absorb; valid only while the session arena is
+                // append-only, so it resets whenever the session
+                // cold-restarted (the sole truncation point).
+                let mut absorb_remap: Vec<trackdown_bgp::PathId> = Vec::new();
+                let mut absorbed_restarts = 0usize;
+                let mut roots: Vec<trackdown_bgp::PathId> = Vec::new();
                 let mut memo: HashMap<String, usize> = HashMap::new();
                 let mut converged: Vec<Option<bool>> = vec![None; chunk.len()];
                 let mut pairs: Vec<(usize, usize)> = Vec::new();
@@ -1143,6 +1198,24 @@ pub fn run_campaign_sharded_recorded(
                     disturbed += outcome.routes_disturbed;
                     events += outcome.events;
                     converged[off] = Some(outcome.converged);
+                    if matches!(mode, CampaignMode::Warm | CampaignMode::Delta) {
+                        roots.clear();
+                        roots.extend(
+                            outcome
+                                .changes
+                                .iter()
+                                .filter_map(|ch| outcome.best[ch.at.us()].map(|r| r.path_id)),
+                        );
+                        if session.cold_restarts() != absorbed_restarts {
+                            absorbed_restarts = session.cold_restarts();
+                            absorb_remap.clear();
+                        }
+                        session.absorb_paths_rooted_cached(
+                            &mut collector,
+                            &roots,
+                            &mut absorb_remap,
+                        );
+                    }
                     let outcome = Arc::new(outcome);
                     {
                         let mut q = queue.lock().expect("queue poisoned");
@@ -1216,7 +1289,7 @@ pub fn run_campaign_sharded_recorded(
                     (memo_hits, disturbed, events),
                     session.cold_restarts(),
                     session.peak_arena_nodes(),
-                    session.path_store(),
+                    collector.store(),
                     (total_us.saturating_sub(idle_us), idle_us, steal_fails),
                 )
             }));
@@ -1237,8 +1310,9 @@ pub fn run_campaign_sharded_recorded(
             stats.worker_busy_us.push(util.0);
             stats.worker_idle_us.push(util.1);
             stats.shard_steal_fails += util.2 as usize;
-            // Canonical-interning merge: shared path prefixes across
-            // worker arenas collapse to single nodes.
+            // Canonical-interning merge of the rooted collectors: shared
+            // path prefixes across workers collapse to single nodes, and
+            // only paths some epoch actually selected are present at all.
             if !store.is_empty() {
                 let _span = trackdown_obs::span("worker.merge").attr("nodes", store.len() as u64);
                 merged.absorb_store(&store);
@@ -1278,7 +1352,7 @@ pub fn run_campaign_sharded_recorded(
         .collect();
     let tracked: Vec<AsIndex> = topo
         .indices()
-        .filter(|&i| catchments[0].get(i).is_some())
+        .filter(|&i| catchments[0].is_assigned(i))
         .collect();
     assemble_campaign(configs, catchments, converged, tracked, None, stats)
 }
@@ -2011,7 +2085,10 @@ mod tests {
                 assert_eq!(sharded.clustering.clusters(), seq.clustering.clusters());
                 assert_eq!(sharded.attribution, seq.attribution);
                 assert_eq!(sharded.records, seq.records);
-                assert_eq!(sharded.stats.shards, shards.min(g.topology.num_ases()));
+                assert_eq!(
+                    sharded.stats.shards,
+                    ShardPlan::new(g.topology.num_ases(), shards).num_shards()
+                );
                 // The canonical merge produced a non-trivial union arena
                 // (final session arenas can sit below the high-water mark
                 // after cold restarts, so `peak` is not a lower bound).
@@ -2022,7 +2099,16 @@ mod tests {
 
     #[test]
     fn shard_plan_tiles_the_index_space() {
-        for (n, k) in [(10, 3), (10, 1), (7, 7), (5, 9), (1, 4), (100, 8)] {
+        for (n, k) in [
+            (10, 3),
+            (10, 1),
+            (7, 7),
+            (5, 9),
+            (1, 4),
+            (100, 8),
+            (12_000, 8),
+            (80_000, 16),
+        ] {
             let plan = ShardPlan::new(n, k);
             assert!(plan.num_shards() >= 1 && plan.num_shards() <= n.max(1));
             let mut covered = 0usize;
@@ -2030,11 +2116,34 @@ mod tests {
             for r in plan.ranges() {
                 assert_eq!(r.start, next, "ranges must tile contiguously");
                 assert!(!r.is_empty(), "no empty shards after clamping");
+                assert_eq!(
+                    r.start % 64,
+                    0,
+                    "shard boundaries are u64-word-aligned for the bitset merge"
+                );
                 covered += r.len();
                 next = r.end;
             }
             assert_eq!(covered, n);
             assert_eq!(next, n);
+        }
+    }
+
+    #[test]
+    fn shard_plan_auto_scales_with_threads_but_respects_min_span() {
+        // Single-threaded: one shard, nothing to share.
+        assert_eq!(ShardPlan::auto(80_000, 1).num_shards(), 1);
+        // Multicore at scale: two tasks per thread.
+        assert_eq!(ShardPlan::auto(80_000, 8).num_shards(), 16);
+        // Small topology: the MIN_SPAN cap wins over thread count.
+        let small = ShardPlan::auto(100, 8);
+        assert_eq!(small.num_shards(), 1);
+        // Mid-size: capped at ⌈n / MIN_SPAN⌉ shards, never below MIN_SPAN
+        // per shard (modulo the final partial shard).
+        let mid = ShardPlan::auto(12_000, 8);
+        assert!(mid.num_shards() <= 3);
+        for r in mid.ranges() {
+            assert_eq!(r.start % 64, 0);
         }
     }
 

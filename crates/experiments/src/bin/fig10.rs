@@ -10,7 +10,7 @@ fn main() {
     let placements = match scenario.scale {
         Scale::Small => 100,
         Scale::Medium => 300,
-        Scale::Full | Scale::Large => 1000,
+        Scale::Full | Scale::Large | Scale::Internet => 1000,
     };
     print!("{}", figures::fig10(&scenario, &campaign, placements));
 }

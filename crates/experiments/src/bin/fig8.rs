@@ -10,7 +10,7 @@ fn main() {
     let (samples, steps) = match scenario.scale {
         Scale::Small => (100, 20),
         Scale::Medium => (200, 30),
-        Scale::Full | Scale::Large => (300, 40),
+        Scale::Full | Scale::Large | Scale::Internet => (300, 40),
     };
     print!(
         "{}",

@@ -32,7 +32,7 @@ fn main() {
     let (samples, steps, placements) = match scenario.scale {
         Scale::Small => (100, 20, 100),
         Scale::Medium => (200, 30, 300),
-        Scale::Full | Scale::Large => (300, 40, 1000),
+        Scale::Full | Scale::Large | Scale::Internet => (300, 40, 1000),
     };
 
     let jobs: Vec<(&str, String)> = vec![

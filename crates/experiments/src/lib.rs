@@ -20,8 +20,11 @@
 //! Absolute values differ from the paper (the substrate is a synthetic
 //! Internet, not PEERING + RouteViews + Atlas); the *shapes* are the
 //! reproduction target. Every binary accepts `--scale
-//! small|medium|full|large` (default `full`), `--seed <u64>`, and
-//! `--shards <n>` (sharded catchment extraction for the larger scales).
+//! small|medium|full|large|internet` (default `full`), `--seed <u64>`,
+//! and `--shards <n|auto>` (sharded catchment extraction for the larger
+//! scales). The `internet` scale loads a real CAIDA `as-rel` snapshot
+//! from the path in `TRACKDOWN_AS_REL` when that variable is set, and
+//! falls back to a deterministic 80 000-AS power-law graph otherwise.
 
 use std::collections::BTreeSet;
 use trackdown_bgp::{BgpEngine, EngineConfig, LinkId, OriginAs, PolicyConfig};
@@ -52,6 +55,13 @@ pub enum Scale {
     /// is trimmed (one-removal locations, capped poisons) so runtime is
     /// dominated by propagation + extraction over the large graph.
     Large,
+    /// 80 000 ASes, 7 PoPs — real-Internet scale, the size of the CAIDA
+    /// as-rel snapshots the paper consumes \[28\]. Loads the snapshot at
+    /// `TRACKDOWN_AS_REL` when set (tiers/regions classified from the
+    /// link structure), else generates a deterministic power-law graph.
+    /// The schedule is trimmed harder than `large` so runtime stays
+    /// dominated by per-configuration propagation over the huge graph.
+    Internet,
 }
 
 impl Scale {
@@ -62,6 +72,7 @@ impl Scale {
             "medium" => Some(Scale::Medium),
             "full" => Some(Scale::Full),
             "large" => Some(Scale::Large),
+            "internet" => Some(Scale::Internet),
             _ => None,
         }
     }
@@ -73,6 +84,7 @@ impl Scale {
             Scale::Medium => "medium",
             Scale::Full => "full",
             Scale::Large => "large",
+            Scale::Internet => "internet",
         }
     }
 }
@@ -97,10 +109,12 @@ pub struct Options {
     /// queue in customer-cone rank order. Identical results to warm/cold
     /// (enforced by `tests/delta_differential.rs`), least work per epoch.
     pub delta: bool,
-    /// Catchment-extraction shards per configuration (`--shards`, default
-    /// 1). Shards split each fixpoint's extraction into AS-index ranges
-    /// processed as a work-stealing batch; results are identical for every
-    /// value — this is purely a load-balancing knob for large topologies.
+    /// Catchment-extraction shards per configuration (`--shards <n|auto>`,
+    /// default `auto`). Shards split each fixpoint's extraction into
+    /// AS-index ranges processed as a work-stealing batch; results are
+    /// identical for every value — this is purely a load-balancing knob
+    /// for large topologies. `0` (the `auto` spelling) tunes the count
+    /// from the worker-thread count and topology size.
     pub shards: usize,
     /// Worker-thread override (`--threads`). Defaults to the machine's
     /// available parallelism. Results are thread-count-invariant; this
@@ -122,7 +136,7 @@ impl Default for Options {
             measured: false,
             cold: false,
             delta: false,
-            shards: 1,
+            shards: 0,
             threads: None,
             metrics_out: None,
             metrics_deterministic: false,
@@ -158,11 +172,11 @@ impl Options {
                 "--delta" => opts.delta = true,
                 "--shards" => {
                     i += 1;
-                    opts.shards = args
-                        .get(i)
-                        .and_then(|v| v.parse().ok())
-                        .filter(|&s| s >= 1)
-                        .unwrap_or_else(|| usage());
+                    opts.shards = match args.get(i).map(String::as_str) {
+                        Some("auto") => 0,
+                        Some(v) => v.parse().ok().unwrap_or_else(|| usage()),
+                        None => usage(),
+                    };
                 }
                 "--threads" => {
                     i += 1;
@@ -194,11 +208,41 @@ impl Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: <experiment> [--scale small|medium|full|large] [--seed <u64>] [--measured] \
-         [--cold] [--delta] [--shards <n>] [--threads <n>] [--metrics-out FILE] \
-         [--metrics-deterministic]"
+        "usage: <experiment> [--scale small|medium|full|large|internet] [--seed <u64>] \
+         [--measured] [--cold] [--delta] [--shards <n|auto>] [--threads <n>] \
+         [--metrics-out FILE] [--metrics-deterministic]"
     );
     std::process::exit(2)
+}
+
+/// Build the `internet`-scale topology: the CAIDA `as-rel` snapshot at
+/// `TRACKDOWN_AS_REL` when that variable is set and non-empty (tiers and
+/// regions classified from the link structure), otherwise the
+/// deterministic 80k-AS power-law fallback in `fallback`. Exits with a
+/// diagnostic when the file cannot be read or parsed — a half-loaded
+/// Internet is worse than none.
+fn internet_topology(fallback: &TopologyConfig) -> GeneratedTopology {
+    match std::env::var("TRACKDOWN_AS_REL") {
+        Ok(path) if !path.is_empty() => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("error: reading TRACKDOWN_AS_REL file {path}: {e}");
+                std::process::exit(1);
+            });
+            let topo = trackdown_topology::serfmt::parse_as_rel(&text).unwrap_or_else(|e| {
+                eprintln!("error: parsing TRACKDOWN_AS_REL file {path}: {e}");
+                std::process::exit(1);
+            });
+            progress::emit(
+                "topology.as_rel_loaded",
+                &[
+                    ("path", path.clone()),
+                    ("ases", topo.num_ases().to_string()),
+                ],
+            );
+            GeneratedTopology::from_topology(topo, fallback.num_regions)
+        }
+        _ => generate(fallback),
+    }
 }
 
 /// Stem of the running executable (manifest `name` field).
@@ -284,8 +328,20 @@ impl Scenario {
                     max_poison_configs: Some(24),
                 },
             ),
+            Scale::Internet => (
+                TopologyConfig::internet(opts.seed),
+                7,
+                GeneratorParams {
+                    max_removals: 1,
+                    max_poison_configs: Some(8),
+                },
+            ),
         };
-        let gen = generate(&topo_cfg);
+        let gen = if opts.scale == Scale::Internet {
+            internet_topology(&topo_cfg)
+        } else {
+            generate(&topo_cfg)
+        };
         let origin = OriginAs::peering_style(&gen, pops);
         let engine_cfg = EngineConfig {
             policy: PolicyConfig {
@@ -559,8 +615,15 @@ mod tests {
         assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
         assert_eq!(Scale::parse("full"), Some(Scale::Full));
         assert_eq!(Scale::parse("large"), Some(Scale::Large));
+        assert_eq!(Scale::parse("internet"), Some(Scale::Internet));
         assert_eq!(Scale::parse("x"), None);
-        for s in [Scale::Small, Scale::Medium, Scale::Full, Scale::Large] {
+        for s in [
+            Scale::Small,
+            Scale::Medium,
+            Scale::Full,
+            Scale::Large,
+            Scale::Internet,
+        ] {
             assert_eq!(Scale::parse(s.label()), Some(s));
         }
     }
@@ -572,11 +635,29 @@ mod tests {
             seed: 3,
             ..Options::default()
         };
-        let unsharded = Scenario::build(base.clone()).run();
-        let sharded = Scenario::build(Options { shards: 8, ..base }).run();
+        let unsharded = Scenario::build(Options {
+            shards: 1,
+            ..base.clone()
+        })
+        .run();
+        let scenario = Scenario::build(Options {
+            shards: 8,
+            ..base.clone()
+        });
+        let n = scenario.gen.topology.num_ases();
+        let sharded = scenario.run();
         assert_eq!(sharded.catchments, unsharded.catchments);
         assert_eq!(sharded.tracked, unsharded.tracked);
         assert_eq!(sharded.records, unsharded.records);
-        assert_eq!(sharded.stats.shards, 8);
+        assert_eq!(
+            sharded.stats.shards,
+            trackdown_core::localize::ShardPlan::new(n, 8).num_shards()
+        );
+        // The default (`--shards auto`) resolves to ≥ 1 shard and is
+        // result-identical too.
+        let auto = Scenario::build(base).run();
+        assert!(auto.stats.shards >= 1);
+        assert_eq!(auto.catchments, unsharded.catchments);
+        assert_eq!(auto.records, unsharded.records);
     }
 }

@@ -180,6 +180,20 @@ mod tests {
     }
 
     #[test]
+    fn internet_preset_roundtrips_through_as_rel() {
+        // The CAIDA-loader path at the scale it exists for: an 80k-AS
+        // power-law graph survives serialize → parse with its full link
+        // set intact (`parse(serialize(topo)) == topo`).
+        let g = crate::gen::generate(&crate::gen::TopologyConfig::internet(21));
+        assert_eq!(g.topology.num_ases(), 80_000);
+        let out = to_as_rel(&g.topology);
+        let back = parse_as_rel(&out).unwrap();
+        assert_eq!(back.num_ases(), g.topology.num_ases());
+        assert_eq!(back.links(), g.topology.links());
+        assert_eq!(back.asns(), g.topology.asns());
+    }
+
+    #[test]
     fn dot_export_structure() {
         let doc = "1|2|-1\n2|3|0\n";
         let topo = parse_as_rel(doc).unwrap();

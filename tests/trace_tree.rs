@@ -145,7 +145,7 @@ fn sharded_campaign_traces_are_well_formed_across_thread_counts() {
         );
         assert_eq!(
             count(&trace, "worker.extract") + count(&trace, "worker.steal"),
-            campaign.stats.propagations * SHARDS,
+            campaign.stats.propagations * campaign.stats.shards,
             "{threads} threads"
         );
         // The deploy work under each produce span is a child of it.

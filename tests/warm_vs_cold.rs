@@ -181,9 +181,21 @@ proptest! {
                     &engine, &origin, &schedule, source,
                     200, threads, shards, mode);
                 assert_campaigns_identical!(sharded, oracle);
+                // Bitset rows vs the dense reference representation: every
+                // campaign catchment must survive a dense round-trip, so the
+                // packed u64 blocks and the Vec<Option<LinkId>> assignment
+                // are the same function — per config, against the oracle.
+                for (c, o) in sharded.catchments.iter().zip(oracle.catchments.iter()) {
+                    let dense = c.dense();
+                    prop_assert_eq!(&dense, &o.dense());
+                    prop_assert_eq!(&Catchments::from_dense(&dense), c);
+                }
                 let vols = link_volume_matrix(&sharded, &volume, origin.num_links());
                 prop_assert_eq!(rank_suspects(&sharded, &vols), oracle_rank.clone());
-                prop_assert_eq!(sharded.stats.shards, shards);
+                prop_assert_eq!(
+                    sharded.stats.shards,
+                    ShardPlan::new(world.topology.num_ases(), shards).num_shards()
+                );
                 prop_assert_eq!(sharded.stats.mode, mode);
             }
         }
