@@ -164,12 +164,39 @@ impl CommunityBits {
     /// Mirror of [`CommunitySet::provider_prepends`] (largest wins).
     #[inline]
     pub fn provider_prepends(self) -> usize {
-        let prepends = self.0 >> 2;
+        // Mask to the prepend bits (2..=9) so engine-internal markers like
+        // OTC never read as a prepend count.
+        let prepends = (self.0 >> 2) & 0xFF;
         if prepends == 0 {
             0
         } else {
             16 - prepends.leading_zeros() as usize
         }
+    }
+
+    /// Engine-internal RFC 9234 Only-to-Customer marker (bit 15). It is
+    /// not representable in a [`CommunitySet`] — origin announcements can
+    /// never carry it; only [`crate::PolicyTable::export_communities`] of
+    /// a deploying exporter sets it.
+    const OTC: u16 = 1 << 15;
+
+    /// This set with the OTC marker added.
+    #[inline]
+    pub fn with_otc(self) -> CommunityBits {
+        CommunityBits(self.0 | CommunityBits::OTC)
+    }
+
+    /// True when the OTC marker is present.
+    #[inline]
+    pub fn has_otc(self) -> bool {
+        self.0 & CommunityBits::OTC != 0
+    }
+
+    /// Just the OTC marker of this set (what propagation preserves —
+    /// action communities are first-hop-only and stripped on export).
+    #[inline]
+    pub fn otc_only(self) -> CommunityBits {
+        CommunityBits(self.0 & CommunityBits::OTC)
     }
 }
 

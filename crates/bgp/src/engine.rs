@@ -1267,7 +1267,12 @@ impl<'e, 't> Simulation<'e, 't> {
                 // `j_kind_from_i`: how j looks from i (is j my customer?).
                 let offer = match new_best {
                     Some(r)
-                        if engine.policy.may_export(r.learned_from, j_kind_from_i)
+                        if engine.policy.may_export_route(
+                            i,
+                            r.learned_from,
+                            j_kind_from_i,
+                            r.communities,
+                        )
                             // Origin action communities: the PoP provider
                             // (holder of the direct route) honors export
                             // scoping toward peers/providers.
@@ -1283,13 +1288,22 @@ impl<'e, 't> Simulation<'e, 't> {
                         } else {
                             0
                         };
+                        // First-hop action communities are stripped; an
+                        // only-to-customers deployer marks (and everyone
+                        // propagates) the OTC attribute. EMPTY whenever no
+                        // extension is deployed.
+                        let exported_comms = engine.policy.export_communities(i, &r, j_kind_from_i);
                         // Evaluate acceptance on the *virtual* offered path
                         // (prepends chained onto the arena walk) before
-                        // interning, so rejected offers push no nodes.
-                        let accepted = engine.policy.accepts_iter(
+                        // interning, so rejected offers push no nodes. A
+                        // route dropped here leaves the offer `None`, so
+                        // the delta relevance check below can never treat
+                        // it as a viable activation.
+                        let accepted = engine.policy.accepts_offer_iter(
                             engine.topo,
                             j,
                             Some(i),
+                            exported_comms,
                             std::iter::repeat_n(own_asn, 1 + extra)
                                 .chain(self.arena.iter(r.path_id)),
                         );
@@ -1303,8 +1317,7 @@ impl<'e, 't> Simulation<'e, 't> {
                                 from_neighbor: Some(i),
                                 local_pref: engine.policy.local_pref(j, Some(i), i_kind_from_j),
                                 learned_from: i_kind_from_j,
-                                // First-hop semantics: stripped on export.
-                                communities: CommunityBits::EMPTY,
+                                communities: exported_comms,
                             })
                         } else {
                             None
@@ -1468,6 +1481,7 @@ mod tests {
                 violator_fraction: 0.0,
                 no_loop_prevention_fraction: 0.0,
                 tier1_poison_filtering: false,
+                extensions: Default::default(),
             },
             max_events_factor: 200,
         }
@@ -1596,6 +1610,7 @@ mod tests {
                 violator_fraction: 0.0,
                 no_loop_prevention_fraction: 1.0, // everyone ignores poison
                 tier1_poison_filtering: false,
+                extensions: Default::default(),
             },
             max_events_factor: 200,
         };

@@ -50,7 +50,10 @@ pub use engine::{
     RoutingOutcome, SnapshotDetail,
 };
 pub use origin::{Injection, LinkAnnouncement, OriginAs, OriginError, PeeringLink};
-pub use policy::{ComplianceFlags, PolicyConfig, PolicyTable};
+pub use policy::{
+    ComplianceFlags, DeploymentBias, ExtensionConfig, ExtensionDeployment, PolicyConfig,
+    PolicyExtension, PolicyTable,
+};
 pub use route::{LinkId, Prefix, Route};
 
 #[cfg(test)]
@@ -128,6 +131,7 @@ mod proptests {
                     violator_fraction: 0.0,
                     no_loop_prevention_fraction: 0.0,
                     tier1_poison_filtering: true,
+                    extensions: Default::default(),
                 },
                 ..EngineConfig::default()
             };
@@ -153,6 +157,7 @@ mod proptests {
                     violator_fraction: 0.0,
                     no_loop_prevention_fraction: 0.0,
                     tier1_poison_filtering: false,
+                    extensions: Default::default(),
                 },
                 ..EngineConfig::default()
             };
@@ -198,6 +203,7 @@ mod proptests {
                     violator_fraction: 0.0,
                     no_loop_prevention_fraction: 0.0,
                     tier1_poison_filtering: false,
+                    extensions: Default::default(),
                 },
                 ..EngineConfig::default()
             };
@@ -237,6 +243,7 @@ mod proptests {
                     violator_fraction: 0.0,
                     no_loop_prevention_fraction: 0.0,
                     tier1_poison_filtering: false,
+                    extensions: Default::default(),
                 },
                 ..EngineConfig::default()
             };
@@ -297,6 +304,7 @@ mod proptests {
                     violator_fraction: 0.0,
                     no_loop_prevention_fraction: 0.0,
                     tier1_poison_filtering: false,
+                    extensions: Default::default(),
                 },
                 ..EngineConfig::default()
             };

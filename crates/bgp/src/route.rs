@@ -95,6 +95,22 @@ impl LinkId {
     pub fn us(self) -> usize {
         self.0 as usize
     }
+
+    /// Checked conversion from a vector index.
+    ///
+    /// # Panics
+    /// Panics when `i` exceeds the `u8` id space: `i as u8` would silently
+    /// wrap and alias an existing link, misattributing whatever is keyed
+    /// by the result.
+    #[inline]
+    pub fn from_usize(i: usize) -> LinkId {
+        assert!(
+            i <= u8::MAX as usize,
+            "link index {i} exceeds the LinkId space (max 255); \
+             truncation would alias distinct links"
+        );
+        LinkId(i as u8)
+    }
 }
 
 impl fmt::Display for LinkId {

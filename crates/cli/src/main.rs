@@ -22,7 +22,7 @@ use trackdown_core::dataset::Dataset;
 use trackdown_core::hijack::all_impacts;
 use trackdown_core::localize::Campaign;
 use trackdown_core::report::render_table;
-use trackdown_experiments::{report_stats, Options, Scale, Scenario};
+use trackdown_experiments::{parse_defense, report_stats, Options, Scale, Scenario};
 use trackdown_topology::serfmt::{to_as_rel, to_dot};
 use trackdown_topology::Asn;
 
@@ -68,7 +68,7 @@ USAGE:
   trackdown topology  [--scale small|medium|full|large|internet] [--seed N] [--format as-rel|dot] [--out FILE]
   trackdown campaign  [--scale small|medium|full|large|internet] [--seed N] [--measured] [--cold]
                       [--delta] [--shards N|auto] [--threads N] --out FILE [--metrics-out FILE]
-                      [--metrics-deterministic]
+                      [--metrics-deterministic] [--defense NAME=FRACTION[:BIAS]]...
   trackdown info      --dataset FILE
   trackdown localize  --dataset FILE --attacker ASN [--attacker ASN ...] [--volume BYTES]
   trackdown hijack    --dataset FILE [--config K]
@@ -78,6 +78,12 @@ USAGE:
                       [--threads N] [--trace-out FILE]
   trackdown perf-report [--baseline FILE] [--current FILE] [--tolerance PCT]
                       [--report-only] [--out FILE]
+
+--defense deploys a routing-security policy extension (rov, peer-rov,
+aspa, peerlock-lite, only-to-customers, enforce-first-as, edge-filter)
+at the given fraction of ASes, tier-biased by BIAS (uniform|core|stub,
+default core); repeat the flag to combine extensions. No --defense
+flags reproduce the extension-free engine bit-for-bit.
 
 The internet scale loads the CAIDA as-rel snapshot named by the
 TRACKDOWN_AS_REL environment variable when set, and falls back to a
@@ -169,6 +175,9 @@ impl Args {
         }
         opts.metrics_out = self.get("--metrics-out").map(str::to_string);
         opts.metrics_deterministic = self.has("--metrics-deterministic");
+        for d in self.get_all("--defense") {
+            opts.defenses.push(parse_defense(d)?);
+        }
         Some(opts)
     }
 }

@@ -94,6 +94,7 @@ mod tests {
                 violator_fraction: violators,
                 no_loop_prevention_fraction: 0.0,
                 tier1_poison_filtering: false,
+                extensions: Default::default(),
             },
             ..EngineConfig::default()
         };

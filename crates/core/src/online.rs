@@ -335,6 +335,7 @@ mod tests {
                 violator_fraction: 0.05,
                 no_loop_prevention_fraction: 0.02,
                 tier1_poison_filtering: true,
+                extensions: Default::default(),
             },
             ..EngineConfig::default()
         };

@@ -51,6 +51,7 @@ impl<'t> CatchmentPredictor<'t> {
                 violator_fraction: 0.0,
                 no_loop_prevention_fraction: 0.0,
                 tier1_poison_filtering: false,
+                extensions: Default::default(),
             },
             max_events_factor: 200,
         };
@@ -113,6 +114,7 @@ mod tests {
                 violator_fraction: 0.0,
                 no_loop_prevention_fraction: 0.0,
                 tier1_poison_filtering: false,
+                extensions: Default::default(),
             },
             ..EngineConfig::default()
         };
@@ -145,6 +147,7 @@ mod tests {
                 violator_fraction: 0.0,
                 no_loop_prevention_fraction: 0.0,
                 tier1_poison_filtering: false,
+                extensions: Default::default(),
             },
             ..EngineConfig::default()
         };
@@ -174,6 +177,7 @@ mod tests {
                 violator_fraction: 0.15,
                 no_loop_prevention_fraction: 0.02,
                 tier1_poison_filtering: true,
+                extensions: Default::default(),
             },
             ..EngineConfig::default()
         };

@@ -1,0 +1,64 @@
+//! Defense-degradation study: how do deployed routing-security policy
+//! extensions (ROV, ASPA, peerlock-lite, AS-path edge filtering) degrade
+//! the paper's poisoning-based source localization?
+//!
+//! Sweeps each defense over deployment fractions (tier-biased toward the
+//! core) and reruns the full campaign, reporting the final clustering and
+//! suspect-set quality at each point. With `--check`, additionally
+//! asserts the degradation direction — mean cluster size monotone
+//! non-decreasing in deployment, and strictly worse at full deployment
+//! for the sandwich-dropping defenses — exiting non-zero on a violation
+//! (the CI smoke contract).
+
+use trackdown_bgp::PolicyExtension;
+use trackdown_experiments::{figures, Options, Scale};
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let mut base = Options::from_args_filtered(&["--check"]);
+    // The sweep controls deployments itself; any --defense flags passed
+    // through would double-deploy.
+    base.defenses.clear();
+
+    let fractions: &[f64] = match base.scale {
+        Scale::Small | Scale::Medium => &[0.0, 0.5, 1.0],
+        _ => &[0.0, 0.25, 0.5, 0.75, 1.0],
+    };
+    // Sandwich-dropping defenses degrade localization; ROV is the flat
+    // control (origin validation passes the origin's own poisons).
+    let breaking = [
+        PolicyExtension::Aspa,
+        PolicyExtension::PeerlockLite,
+        PolicyExtension::EdgeFilter,
+    ];
+    let control = [PolicyExtension::Rov];
+
+    let defenses: Vec<PolicyExtension> = breaking.iter().chain(control.iter()).copied().collect();
+    let points = figures::defense_sweep(&base, &defenses, fractions);
+    let desc = format!(
+        "scale={} seed={:#x} fractions={fractions:?} bias=core",
+        base.scale.label(),
+        base.seed
+    );
+    print!("{}", figures::render_defense_sweep(&desc, &points));
+
+    if check {
+        let mut failed = false;
+        for d in defenses {
+            let series: Vec<_> = points.iter().filter(|p| p.defense == d).cloned().collect();
+            let expect_breaks = breaking.contains(&d);
+            if let Some(violation) = figures::check_degradation(&series, expect_breaks) {
+                eprintln!("degradation check FAILED: {violation}");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "degradation check passed: {} defenses x {} fractions",
+            4,
+            fractions.len()
+        );
+    }
+}

@@ -67,7 +67,7 @@ fn main() {
         &[("elapsed_ms", t0.elapsed().as_millis().to_string())],
     );
     eprintln!(
-        "extension studies (ablation, staleness, online, convergence) are separate \
-         binaries; run e.g. `cargo run --release -p trackdown-experiments --bin ablation`"
+        "extension studies (ablation, staleness, online, convergence, defense) are \
+         separate binaries; run e.g. `cargo run --release -p trackdown-experiments --bin ablation`"
     );
 }

@@ -1,14 +1,14 @@
 //! Per-figure experiment implementations, shared by the individual
 //! binaries and `run_all`. Each function returns a printable report.
 
-use crate::{phase_prefixes, phase_summary, print_series, Scenario};
+use crate::{phase_prefixes, phase_summary, print_series, Options, Scenario};
 use std::collections::BTreeMap;
-use trackdown_bgp::SnapshotDetail;
+use trackdown_bgp::{DeploymentBias, ExtensionDeployment, PolicyExtension, SnapshotDetail};
 use trackdown_core::cluster::Clustering;
 use trackdown_core::compliance::{config_compliance, fraction_cdf};
 use trackdown_core::distance::cluster_size_by_distance;
 use trackdown_core::footprint::{footprint_clustering, footprint_trajectory, footprints_removing};
-use trackdown_core::localize::Campaign;
+use trackdown_core::localize::{link_volume_matrix, rank_suspects, Campaign};
 use trackdown_core::report::{render_table, Series};
 use trackdown_core::schedule::{greedy_schedule, mean_size_objective, random_schedule_stats};
 use trackdown_core::Phase;
@@ -626,6 +626,150 @@ pub fn table2() -> String {
         &rows,
     ));
     out
+}
+
+/// One measured point of the defense-degradation sweep: one extension at
+/// one deployment fraction, with the clustering and suspect-ranking
+/// quality the full campaign achieves against it.
+#[derive(Debug, Clone)]
+pub struct DefensePoint {
+    /// The policy extension being swept.
+    pub defense: PolicyExtension,
+    /// Requested deployment fraction.
+    pub fraction: f64,
+    /// ASes the seeded assignment actually selected.
+    pub deployers: usize,
+    /// Final cluster count over the tracked set.
+    pub clusters: usize,
+    /// Mean final cluster size (higher = worse disambiguation).
+    pub mean_cluster: f64,
+    /// Largest final cluster.
+    pub max_cluster: usize,
+    /// Suspect clusters surviving volume correlation.
+    pub suspects: usize,
+    /// ASes inside the surviving suspect clusters (the operator's
+    /// worklist; higher = worse localization).
+    pub suspect_ases: usize,
+}
+
+/// Defense-degradation experiment: rerun the full campaign with one
+/// policy extension deployed at each fraction (tier-biased toward the
+/// core, seeded from the scenario seed) and measure how clustering and
+/// suspect ranking degrade.
+///
+/// Extensions that drop poison sandwiches (ASPA, peerlock-lite, edge
+/// filtering) disable the poisoning phase's catchment manipulation, so
+/// clusters stop splitting and the suspect set coarsens as deployment
+/// grows; origin validation alone (ROV) passes the origin's own
+/// announcements and stays flat — it is the control series.
+pub fn defense_sweep(
+    base: &Options,
+    defenses: &[PolicyExtension],
+    fractions: &[f64],
+) -> Vec<DefensePoint> {
+    let mut out = Vec::new();
+    for &defense in defenses {
+        for &fraction in fractions {
+            let mut opts = base.clone();
+            opts.metrics_out = None;
+            opts.defenses = vec![ExtensionDeployment {
+                extension: defense,
+                fraction,
+                bias: DeploymentBias::Core,
+            }];
+            let scenario = Scenario::build(opts);
+            let deployers = scenario.engine().policy().num_deployers(defense);
+            let campaign = scenario.run();
+            // Deterministic synthetic per-AS volume (every tracked AS
+            // spoofs) so the suspect set measures routing-side
+            // degradation, not traffic randomness.
+            let n = scenario.gen.topology.num_ases();
+            let volume: Vec<u64> = (0..n as u64).map(|i| 1 + i % 7).collect();
+            let vols = link_volume_matrix(&campaign, &volume, scenario.origin.num_links());
+            let suspects = rank_suspects(&campaign, &vols);
+            let sizes = campaign.clustering.sizes();
+            out.push(DefensePoint {
+                defense,
+                fraction,
+                deployers,
+                clusters: campaign.clustering.num_clusters(),
+                mean_cluster: campaign.clustering.mean_size(),
+                max_cluster: sizes.iter().copied().max().unwrap_or(0),
+                suspects: suspects.len(),
+                suspect_ases: suspects.iter().map(|s| s.members.len()).sum(),
+            });
+        }
+    }
+    out
+}
+
+/// Render the defense sweep as the fig-style degradation table.
+pub fn render_defense_sweep(scenario_desc: &str, points: &[DefensePoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.defense.label().to_string(),
+                format!("{:.0}%", p.fraction * 100.0),
+                p.deployers.to_string(),
+                p.clusters.to_string(),
+                format!("{:.3}", p.mean_cluster),
+                p.max_cluster.to_string(),
+                p.suspects.to_string(),
+                p.suspect_ases.to_string(),
+            ]
+        })
+        .collect();
+    let mut out =
+        String::from("# Defense degradation: clustering vs. policy-extension deployment\n");
+    out.push_str(&format!("# {scenario_desc}\n\n"));
+    out.push_str(&render_table(
+        &[
+            "defense",
+            "deployed",
+            "deployers",
+            "clusters",
+            "mean size",
+            "max size",
+            "suspect clusters",
+            "suspect ASes",
+        ],
+        &rows,
+    ));
+    out
+}
+
+/// Check the degradation direction for one defense's series (points for
+/// ascending fractions): mean cluster size must never *improve* as
+/// deployment grows, and a defense expected to break poisoning must
+/// strictly degrade clustering by full deployment. Returns a
+/// human-readable violation, or `None` when the series is consistent.
+pub fn check_degradation(series: &[DefensePoint], expect_breaks: bool) -> Option<String> {
+    for w in series.windows(2) {
+        if w[1].mean_cluster < w[0].mean_cluster - 1e-9 {
+            return Some(format!(
+                "{} at {:.0}% deployment improved clustering (mean {:.3} -> {:.3}); \
+                 degradation must be monotone",
+                w[1].defense.label(),
+                w[1].fraction * 100.0,
+                w[0].mean_cluster,
+                w[1].mean_cluster,
+            ));
+        }
+    }
+    if expect_breaks {
+        let (first, last) = (series.first()?, series.last()?);
+        if last.mean_cluster <= first.mean_cluster + 1e-9 {
+            return Some(format!(
+                "{} deployed at {:.0}% should break poisoning-based disambiguation \
+                 but mean cluster size stayed at {:.3}",
+                last.defense.label(),
+                last.fraction * 100.0,
+                last.mean_cluster,
+            ));
+        }
+    }
+    None
 }
 
 #[cfg(test)]

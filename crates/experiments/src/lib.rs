@@ -27,7 +27,10 @@
 //! falls back to a deterministic 80 000-AS power-law graph otherwise.
 
 use std::collections::BTreeSet;
-use trackdown_bgp::{BgpEngine, EngineConfig, LinkId, OriginAs, PolicyConfig};
+use trackdown_bgp::{
+    BgpEngine, DeploymentBias, EngineConfig, ExtensionDeployment, LinkId, OriginAs, PolicyConfig,
+    PolicyExtension,
+};
 use trackdown_core::generator::{full_schedule, phase_boundaries, GeneratorParams};
 use trackdown_core::localize::{
     run_campaign_recorded, run_campaign_sharded_recorded, Campaign, CampaignMode, CatchmentSource,
@@ -126,6 +129,10 @@ pub struct Options {
     /// Suppress every wall-clock-derived manifest field so two runs of
     /// the same campaign produce byte-identical manifests.
     pub metrics_deterministic: bool,
+    /// Defense-policy extensions to deploy (`--defense
+    /// <name>=<fraction>[:<bias>]`, repeatable). Empty reproduces the
+    /// extension-free engine bit-for-bit.
+    pub defenses: Vec<ExtensionDeployment>,
 }
 
 impl Default for Options {
@@ -140,18 +147,56 @@ impl Default for Options {
             threads: None,
             metrics_out: None,
             metrics_deterministic: false,
+            defenses: Vec::new(),
         }
     }
+}
+
+/// Parse one `--defense` operand: `<name>=<fraction>[:<bias>]` with
+/// `name` a [`PolicyExtension`] label (e.g. `aspa`, `peerlock-lite`),
+/// `fraction` in `[0, 1]`, and `bias` one of `uniform|core|stub`
+/// (default `core`).
+pub fn parse_defense(s: &str) -> Option<ExtensionDeployment> {
+    let (name, rest) = s.split_once('=')?;
+    let extension = PolicyExtension::parse(name)?;
+    let (frac, bias) = match rest.split_once(':') {
+        Some((f, b)) => (f, Some(b)),
+        None => (rest, None),
+    };
+    let fraction: f64 = frac.parse().ok().filter(|f| (0.0..=1.0).contains(f))?;
+    let bias = match bias {
+        None => DeploymentBias::default(),
+        Some("uniform") => DeploymentBias::Uniform,
+        Some("core") => DeploymentBias::Core,
+        Some("stub") => DeploymentBias::Stub,
+        Some(_) => return None,
+    };
+    Some(ExtensionDeployment {
+        extension,
+        fraction,
+        bias,
+    })
 }
 
 impl Options {
     /// Parse `--scale` and `--seed` from process arguments; exits with a
     /// usage message on malformed input.
     pub fn from_args() -> Options {
+        Options::from_args_filtered(&[])
+    }
+
+    /// [`Options::from_args`], skipping any flag named in `ignore` —
+    /// binaries with extra boolean flags (e.g. `defense --check`) parse
+    /// those themselves and pass the rest through here.
+    pub fn from_args_filtered(ignore: &[&str]) -> Options {
         let mut opts = Options::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
+            if ignore.contains(&args[i].as_str()) {
+                i += 1;
+                continue;
+            }
             match args[i].as_str() {
                 "--scale" => {
                     i += 1;
@@ -192,6 +237,14 @@ impl Options {
                     opts.metrics_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
                 }
                 "--metrics-deterministic" => opts.metrics_deterministic = true,
+                "--defense" => {
+                    i += 1;
+                    let d = args
+                        .get(i)
+                        .and_then(|v| parse_defense(v))
+                        .unwrap_or_else(|| usage());
+                    opts.defenses.push(d);
+                }
                 "--help" | "-h" => usage(),
                 other => {
                     eprintln!("unknown argument: {other}");
@@ -210,7 +263,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: <experiment> [--scale small|medium|full|large|internet] [--seed <u64>] \
          [--measured] [--cold] [--delta] [--shards <n|auto>] [--threads <n>] \
-         [--metrics-out FILE] [--metrics-deterministic]"
+         [--metrics-out FILE] [--metrics-deterministic] \
+         [--defense <name>=<fraction>[:<bias>]]...\n\
+         defenses: rov, peer-rov, aspa, peerlock-lite, only-to-customers, \
+         enforce-first-as, edge-filter; bias: uniform|core|stub (default core)"
     );
     std::process::exit(2)
 }
@@ -343,11 +399,13 @@ impl Scenario {
             generate(&topo_cfg)
         };
         let origin = OriginAs::peering_style(&gen, pops);
+        let mut policy = PolicyConfig {
+            seed: opts.seed ^ 0x9_11C7,
+            ..PolicyConfig::default()
+        };
+        policy.extensions.deployments = opts.defenses.clone();
         let engine_cfg = EngineConfig {
-            policy: PolicyConfig {
-                seed: opts.seed ^ 0x9_11C7,
-                ..PolicyConfig::default()
-            },
+            policy,
             ..EngineConfig::default()
         };
         Scenario {
@@ -607,6 +665,42 @@ mod tests {
         let summary = phase_summary(&campaign);
         assert!(summary.contains("location"));
         assert!(summary.contains("poisoning"));
+    }
+
+    #[test]
+    fn defense_parsing() {
+        let d = parse_defense("aspa=0.5").expect("valid");
+        assert_eq!(d.extension, PolicyExtension::Aspa);
+        assert_eq!(d.fraction, 0.5);
+        assert_eq!(d.bias, DeploymentBias::Core);
+        let d = parse_defense("peerlock-lite=1.0:stub").expect("valid");
+        assert_eq!(d.extension, PolicyExtension::PeerlockLite);
+        assert_eq!(d.bias, DeploymentBias::Stub);
+        let d = parse_defense("rov=0:uniform").expect("valid");
+        assert_eq!(d.bias, DeploymentBias::Uniform);
+        assert!(parse_defense("aspa").is_none(), "missing fraction");
+        assert!(parse_defense("bgpsec=0.5").is_none(), "unknown extension");
+        assert!(parse_defense("aspa=1.5").is_none(), "fraction out of range");
+        assert!(parse_defense("aspa=0.5:everywhere").is_none(), "bad bias");
+    }
+
+    #[test]
+    fn defenses_reach_the_engine_policy() {
+        let mut opts = Options {
+            scale: Scale::Small,
+            seed: 3,
+            ..Options::default()
+        };
+        opts.defenses = vec![parse_defense("edge-filter=1.0").expect("valid")];
+        let s = Scenario::build(opts);
+        let n = s.gen.topology.num_ases();
+        let table = s.engine();
+        assert_eq!(
+            table.policy().num_deployers(PolicyExtension::EdgeFilter),
+            n,
+            "fraction 1.0 must deploy universally"
+        );
+        assert_eq!(table.policy().num_deployers(PolicyExtension::Aspa), 0);
     }
 
     #[test]

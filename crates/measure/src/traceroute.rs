@@ -245,6 +245,7 @@ mod tests {
                 violator_fraction: 0.0,
                 no_loop_prevention_fraction: 0.0,
                 tier1_poison_filtering: false,
+                extensions: Default::default(),
             },
             ..EngineConfig::default()
         };

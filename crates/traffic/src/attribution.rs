@@ -23,13 +23,17 @@ pub fn volume_per_link(
 }
 
 /// The link carrying the most volume, ties toward the lower id.
+///
+/// # Panics
+/// Panics if `volumes` has more entries than the `LinkId` space (256):
+/// truncating the index would alias distinct links.
 pub fn hottest(volumes: &[u64]) -> Option<LinkId> {
     volumes
         .iter()
         .enumerate()
         .filter(|(_, v)| **v > 0)
         .max_by_key(|(i, v)| (**v, usize::MAX - *i))
-        .map(|(i, _)| LinkId(i as u8))
+        .map(|(i, _)| LinkId::from_usize(i))
 }
 
 /// Figure 10 series: cumulative fraction of total volume originated from
@@ -48,6 +52,12 @@ pub fn cumulative_volume_by_cluster_size(
 /// [`cumulative_volume_by_cluster_size`] over borrowed member slices, so
 /// callers holding a CSR-backed clustering (e.g.
 /// `Clustering::iter_clusters`) never materialize `Vec<Vec<AsIndex>>`.
+///
+/// # Panics
+/// Panics when `volume_per_as` does not cover every cluster member: a
+/// short row would read as zero volume and silently exonerate clusters
+/// (the same width contract `validate_link_volumes` enforces in
+/// `trackdown-core`).
 pub fn cumulative_volume_by_cluster_slices<'a>(
     clusters: impl IntoIterator<Item = &'a [AsIndex]>,
     volume_per_as: &[u64],
@@ -55,10 +65,16 @@ pub fn cumulative_volume_by_cluster_slices<'a>(
     let mut per_size: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
     let mut total = 0u64;
     for cluster in clusters {
-        let v: u64 = cluster
-            .iter()
-            .map(|a| volume_per_as.get(a.us()).copied().unwrap_or(0))
-            .sum();
+        if let Some(max) = cluster.iter().map(|a| a.us()).max() {
+            assert!(
+                max < volume_per_as.len(),
+                "volume_per_as covers {} ASes but a cluster reaches AS index {}; \
+                 missing entries would read as zero volume and silently exonerate clusters",
+                volume_per_as.len(),
+                max
+            );
+        }
+        let v: u64 = cluster.iter().map(|a| volume_per_as[a.us()]).sum();
         total += v;
         *per_size.entry(cluster.len()).or_insert(0) += v;
     }
@@ -117,5 +133,35 @@ mod tests {
     fn zero_volume_yields_empty_series() {
         let clusters = vec![vec![AsIndex(0)]];
         assert!(cumulative_volume_by_cluster_size(&clusters, &[0]).is_empty());
+    }
+
+    /// Regression: a volume row shorter than the cluster space used to
+    /// read missing ASes as 0 via `unwrap_or(0)`, silently zeroing the
+    /// cluster's contribution. The width contract now panics instead.
+    #[test]
+    #[should_panic(expected = "silently exonerate")]
+    fn short_volume_row_panics_instead_of_exonerating() {
+        let clusters = vec![vec![AsIndex(0)], vec![AsIndex(5), AsIndex(6)]];
+        // Only 2 entries: AS5/AS6 are out of range, not zero-volume.
+        let vols = [5u64, 7];
+        let _ = cumulative_volume_by_cluster_size(&clusters, &vols);
+    }
+
+    /// Regression: `hottest` used to truncate the winning index with
+    /// `as u8`, aliasing link 256 onto link 0.
+    #[test]
+    #[should_panic(expected = "truncation would alias")]
+    fn hottest_guards_linkid_truncation() {
+        let mut vols = vec![0u64; 300];
+        vols[256] = 9; // would wrap to LinkId(0) under `as u8`
+        let _ = hottest(&vols);
+    }
+
+    /// In-range volumes keep working after the truncation guard.
+    #[test]
+    fn hottest_accepts_full_linkid_range() {
+        let mut vols = vec![0u64; 256];
+        vols[255] = 3;
+        assert_eq!(hottest(&vols), Some(LinkId(255)));
     }
 }

@@ -56,13 +56,17 @@ impl HoneypotReport {
     /// The link receiving the most spoofed traffic — the paper's per-
     /// configuration signal ("the spoofed traffic is concentrated on the
     /// link with n").
+    ///
+    /// # Panics
+    /// Panics if `per_link_bytes` outgrows the `LinkId` space (256):
+    /// truncating the index would alias distinct links.
     pub fn hottest_link(&self) -> Option<LinkId> {
         self.per_link_bytes
             .iter()
             .enumerate()
             .filter(|(_, b)| **b > 0)
             .max_by_key(|(i, b)| (**b, usize::MAX - *i)) // ties → lower id
-            .map(|(i, _)| LinkId(i as u8))
+            .map(|(i, _)| LinkId::from_usize(i))
     }
 
     /// Fraction of total volume per link.
@@ -222,5 +226,22 @@ mod tests {
         let flows = vec![flow(0, 500, dst), flow(1, 500, dst)];
         let r = hp.observe(&catchments3(), 3, &flows);
         assert_eq!(r.hottest_link(), Some(LinkId(0)));
+    }
+
+    /// Regression: `hottest_link` used to truncate the winning index with
+    /// `as u8`, aliasing link 256 onto link 0.
+    #[test]
+    #[should_panic(expected = "truncation would alias")]
+    fn hottest_link_guards_linkid_truncation() {
+        let mut per_link_bytes = vec![0u64; 300];
+        per_link_bytes[256] = 42;
+        let r = HoneypotReport {
+            per_link_bytes,
+            per_link_packets: vec![0; 300],
+            total_bytes: 42,
+            unattributed_flows: 0,
+            response_bytes: 0,
+        };
+        let _ = r.hottest_link();
     }
 }

@@ -51,8 +51,9 @@ pub use trackdown_traffic as traffic;
 pub mod prelude {
     pub use trackdown_bgp::{
         diff_injections, BgpEngine, CampaignSession, Catchments, Community, CommunitySet,
-        EngineConfig, LinkAnnouncement, LinkId, OriginAs, PolicyConfig, Prefix, PropagationRanks,
-        RouteChange, RoutingOutcome, SnapshotDetail,
+        DeploymentBias, EngineConfig, ExtensionConfig, ExtensionDeployment, LinkAnnouncement,
+        LinkId, OriginAs, PolicyConfig, PolicyExtension, Prefix, PropagationRanks, RouteChange,
+        RoutingOutcome, SnapshotDetail,
     };
     pub use trackdown_core::generator::{full_schedule, GeneratorParams};
     pub use trackdown_core::localize::{

@@ -251,6 +251,104 @@ proptest! {
     }
 }
 
+/// Clean engine (unique fixpoints) with the given policy-extension
+/// deployments activated.
+fn engine_config_ext(deployments: Vec<ExtensionDeployment>) -> EngineConfig {
+    let mut policy = PolicyConfig {
+        violator_fraction: 0.0,
+        ..PolicyConfig::default()
+    };
+    policy.extensions.deployments = deployments;
+    EngineConfig {
+        policy,
+        ..EngineConfig::default()
+    }
+}
+
+// Policy extensions drop routes at import time — each drop must surface
+// as a non-viable activation to the delta engine, never as a stale
+// entry it warm-reuses. Every extension, at partial (30%) and universal
+// (100%) deployment (0% is the extension-free baseline the rest of the
+// suite covers), must keep Delta == Warm == Cold through the parallel
+// executor's 1/2/8 thread counts, all the way to suspect ranking.
+#[test]
+fn extensions_on_delta_equals_warm_equals_cold_across_threads() {
+    let (world, origin, schedule) = scenario(29, 4, 1, 8);
+    let volume: Vec<u64> = (0..world.topology.num_ases() as u64)
+        .map(|i| 1 + i % 7)
+        .collect();
+    let mut arms: Vec<Vec<ExtensionDeployment>> = vec![vec![]];
+    for ext in PolicyExtension::ALL {
+        for fraction in [0.3, 1.0] {
+            arms.push(vec![ExtensionDeployment {
+                extension: ext,
+                fraction,
+                bias: DeploymentBias::Core,
+            }]);
+        }
+    }
+    // Mixed arm: every extension at once, partial deployment.
+    arms.push(
+        PolicyExtension::ALL
+            .into_iter()
+            .map(|extension| ExtensionDeployment {
+                extension,
+                fraction: 0.3,
+                bias: DeploymentBias::Core,
+            })
+            .collect(),
+    );
+    for arm in arms {
+        let engine = BgpEngine::new(&world.topology, &engine_config_ext(arm.clone()));
+        let cold = run_campaign_mode(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+            CampaignMode::Cold,
+        );
+        let cold_vols = link_volume_matrix(&cold, &volume, origin.num_links());
+        let cold_rank = rank_suspects(&cold, &cold_vols);
+        let warm = run_campaign_mode(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+            CampaignMode::Warm,
+        );
+        assert_eq!(&warm.catchments, &cold.catchments, "warm vs cold: {arm:?}");
+        assert_eq!(&warm.records, &cold.records, "warm vs cold: {arm:?}");
+        for threads in [1usize, 2, 8] {
+            let delta = run_campaign_parallel_mode(
+                &engine,
+                &origin,
+                &schedule,
+                CatchmentSource::ControlPlane,
+                200,
+                threads,
+                CampaignMode::Delta,
+            );
+            assert_eq!(
+                &delta.catchments, &cold.catchments,
+                "delta vs cold at {threads} threads: {arm:?}"
+            );
+            assert_eq!(&delta.tracked, &cold.tracked);
+            assert_eq!(delta.clustering.clusters(), cold.clustering.clusters());
+            assert_eq!(&delta.records, &cold.records);
+            let vols = link_volume_matrix(&delta, &volume, origin.num_links());
+            assert_eq!(
+                rank_suspects(&delta, &vols),
+                cold_rank,
+                "suspect ranking diverged at {threads} threads: {arm:?}"
+            );
+        }
+    }
+}
+
 // Regression: a capped (non-converged) epoch must never be warm-reused
 // by the next delta epoch. The capped run leaves stranded FIFO queue
 // entries with `in_queue` set; a rank-scheduled delta epoch on top of

@@ -86,6 +86,7 @@ fn control_and_data_plane_catchments_agree_for_clean_policies() {
             violator_fraction: 0.0,
             no_loop_prevention_fraction: 0.0,
             tier1_poison_filtering: false,
+            extensions: Default::default(),
         },
         ..EngineConfig::default()
     };

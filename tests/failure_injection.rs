@@ -16,6 +16,7 @@ fn engine_cfg(violators: f64, immune: f64, tier1_filter: bool) -> EngineConfig {
             violator_fraction: violators,
             no_loop_prevention_fraction: immune,
             tier1_poison_filtering: tier1_filter,
+            extensions: Default::default(),
         },
         ..EngineConfig::default()
     }

@@ -247,6 +247,7 @@ fn engine_config(seed: u64, violators: f64, immune: f64, tier1: bool) -> EngineC
             violator_fraction: violators,
             no_loop_prevention_fraction: immune,
             tier1_poison_filtering: tier1,
+            extensions: Default::default(),
         },
         ..EngineConfig::default()
     }

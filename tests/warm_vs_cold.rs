@@ -202,6 +202,69 @@ proptest! {
     }
 }
 
+// Policy extensions make the import filter stricter, never
+// history-dependent: with any extension deployed — at 0% (the inert
+// configuration), partial, or universal coverage — the warm executor's
+// epoch reuse must remain indistinguishable from the cold oracle, all
+// the way through suspect ranking.
+#[test]
+fn extensions_on_warm_equals_cold() {
+    let (world, origin, schedule) = scenario(31, 4, 1, 8);
+    let volume: Vec<u64> = (0..world.topology.num_ases() as u64)
+        .map(|i| 1 + i % 5)
+        .collect();
+    for ext in PolicyExtension::ALL {
+        for fraction in [0.0, 0.3, 1.0] {
+            let mut policy = PolicyConfig {
+                violator_fraction: 0.0,
+                ..PolicyConfig::default()
+            };
+            policy.extensions.deployments = vec![ExtensionDeployment {
+                extension: ext,
+                fraction,
+                bias: DeploymentBias::Core,
+            }];
+            let cfg = EngineConfig {
+                policy,
+                ..EngineConfig::default()
+            };
+            let engine = BgpEngine::new(&world.topology, &cfg);
+            let warm = run_campaign_mode(
+                &engine,
+                &origin,
+                &schedule,
+                CatchmentSource::ControlPlane,
+                None,
+                200,
+                CampaignMode::Warm,
+            );
+            let cold = run_campaign_mode(
+                &engine,
+                &origin,
+                &schedule,
+                CatchmentSource::ControlPlane,
+                None,
+                200,
+                CampaignMode::Cold,
+            );
+            assert_eq!(
+                &warm.catchments, &cold.catchments,
+                "{ext} at {fraction}: warm catchments diverged from cold"
+            );
+            assert_eq!(&warm.tracked, &cold.tracked);
+            assert_eq!(warm.clustering.clusters(), cold.clustering.clusters());
+            assert_eq!(&warm.records, &cold.records);
+            let wv = link_volume_matrix(&warm, &volume, origin.num_links());
+            let cv = link_volume_matrix(&cold, &volume, origin.num_links());
+            assert_eq!(
+                rank_suspects(&warm, &wv),
+                rank_suspects(&cold, &cv),
+                "{ext} at {fraction}: suspect ranking diverged"
+            );
+        }
+    }
+}
+
 // Degenerate epoch: re-deploying the identical announcement must cost
 // the delta engine zero propagation work — no seeds, no events, no
 // disturbance — while the campaign-level manifest stays byte-identical
