@@ -65,7 +65,7 @@ fn synthetic_campaign(seed: u64) -> (Campaign, Vec<Vec<u64>>) {
     ] {
         volume_per_as[i] = v;
     }
-    let link_volumes = link_volume_matrix(&campaign, &volume_per_as, LINKS);
+    let link_volumes = link_volume_matrix(&campaign, &volume_per_as);
     (campaign, link_volumes)
 }
 

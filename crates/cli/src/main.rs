@@ -22,7 +22,7 @@ use trackdown_core::dataset::Dataset;
 use trackdown_core::hijack::all_impacts;
 use trackdown_core::localize::Campaign;
 use trackdown_core::report::render_table;
-use trackdown_experiments::{parse_defense, report_stats, Options, Scale, Scenario};
+use trackdown_experiments::{parse_defense, parse_sketch, report_stats, Options, Scale, Scenario};
 use trackdown_topology::serfmt::{to_as_rel, to_dot};
 use trackdown_topology::Asn;
 
@@ -71,6 +71,7 @@ USAGE:
                       [--metrics-deterministic] [--defense NAME=FRACTION[:BIAS]]...
   trackdown info      --dataset FILE
   trackdown localize  --dataset FILE --attacker ASN [--attacker ASN ...] [--volume BYTES]
+                      [--sketch WIDTHxDEPTH]
   trackdown hijack    --dataset FILE [--config K]
   trackdown bench-snapshot [--out FILE]
   trackdown validate-manifest --manifest FILE
@@ -84,6 +85,11 @@ aspa, peerlock-lite, only-to-customers, enforce-first-as, edge-filter)
 at the given fraction of ASes, tier-biased by BIAS (uniform|core|stub,
 default core); repeat the flag to combine extensions. No --defense
 flags reproduce the extension-free engine bit-for-bit.
+
+localize --sketch streams the attack flows through a count-min sketch
+of the given geometry instead of exact per-link counters and reports
+the approximate suspect ranking with its worst-case error bound and
+rank-stability verdict alongside the exact estimates.
 
 The internet scale loads the CAIDA as-rel snapshot named by the
 TRACKDOWN_AS_REL environment variable when set, and falls back to a
@@ -177,6 +183,9 @@ impl Args {
         opts.metrics_deterministic = self.has("--metrics-deterministic");
         for d in self.get_all("--defense") {
             opts.defenses.push(parse_defense(d)?);
+        }
+        if let Some(s) = self.get("--sketch") {
+            opts.sketch = Some(parse_sketch(s)?);
         }
         Some(opts)
     }
@@ -282,14 +291,9 @@ fn cmd_localize(args: &Args) -> Result<(), String> {
             .ok_or_else(|| format!("{a} not in dataset"))?;
         per_as[idx] += volume;
     }
-    // What the honeypot would have seen per configuration.
-    let num_links = ds.origin.num_links();
-    let link_volumes: Vec<Vec<u64>> = ds
-        .catchments
-        .iter()
-        .map(|c| trackdown_traffic::volume_per_link(c, &per_as, num_links))
-        .collect();
-    // Rebuild a campaign view for the localization API.
+    // Rebuild a campaign view for the localization API, then derive what
+    // the honeypot would have seen per configuration at exactly the
+    // attribution plane's width.
     let (clustering, attribution) = ds.rebuild_attribution();
     let campaign = Campaign {
         configs: ds.configs.clone(),
@@ -301,6 +305,7 @@ fn cmd_localize(args: &Args) -> Result<(), String> {
         imputation: None,
         stats: trackdown_core::localize::CampaignStats::default(),
     };
+    let link_volumes = trackdown_core::localize::link_volume_matrix(&campaign, &per_as);
     let estimates =
         trackdown_core::localize::estimate_cluster_volumes(&campaign, &link_volumes, 10);
     println!(
@@ -340,6 +345,47 @@ fn cmd_localize(args: &Args) -> Result<(), String> {
                 "inside a suspect cluster"
             } else {
                 "NOT localized (unreachable or untracked in this dataset)"
+            }
+        );
+    }
+    // Approximate path: stream the same attack as flows through a
+    // count-min sketch and report the ranking with its error bound.
+    if let Some((width, depth)) = args.options().and_then(|o| o.sketch) {
+        use trackdown_traffic::{ingest_stream, DEFAULT_FLOW_BATCH};
+        let flows: Vec<trackdown_traffic::Flow> = per_as
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0)
+            .map(|(i, &v)| trackdown_traffic::Flow {
+                src_as: trackdown_topology::AsIndex(i as u32),
+                claimed_ip: 0xCB00_7101,
+                dst_ip: 0xCB00_7201,
+                packets: v / 64,
+                bytes: v,
+                spoofed: true,
+            })
+            .collect();
+        let mut sketch = trackdown_traffic::SketchAccumulator::new(
+            campaign.catchments.len(),
+            campaign.attribution.num_links(),
+            width,
+            depth,
+            0x5CE7,
+        );
+        for (c, cat) in campaign.catchments.iter().enumerate() {
+            ingest_stream(&mut sketch, c, cat, &flows, DEFAULT_FLOW_BATCH);
+        }
+        let ranked = trackdown_core::localize::rank_suspects_acc(&campaign, &sketch);
+        println!(
+            "sketch {width}x{depth}: {} suspect cluster(s), error bound {} bytes \
+             (eps*N {}), ranking {}",
+            ranked.suspects.len(),
+            ranked.error_bound,
+            sketch.epsilon_n_bound(),
+            if ranked.stable {
+                "stable (every gap exceeds the bound)"
+            } else {
+                "UNSTABLE (some adjacent suspects within the bound)"
             }
         );
     }
@@ -454,6 +500,28 @@ struct BenchSnapshot {
     attribution_scan_ms: f64,
     /// `attribution_scan_ms / attribution_indexed_ms` — gated ≥ 5.0 in CI.
     attribution_speedup: f64,
+    /// Count-min geometry of the schema-7 streaming-ingest arm.
+    sketch_width: u64,
+    /// Rows in the streaming arm's count-min sketch.
+    sketch_depth: u64,
+    /// Flows streamed per configuration in the sketch arm: the ~1k active
+    /// sources of the 50k-source workload — the few-source regime
+    /// amplification attacks live in (AmpPot, §I).
+    sketch_flows: u64,
+    /// Building the exact dense link-volume matrix for the same attack —
+    /// a full 50k-source catchment rescan per configuration (best of 2,
+    /// ms). This is what the streaming path replaces.
+    exact_ingest_ms: f64,
+    /// Streaming the flows through the count-min accumulator across all
+    /// configurations (best of 2, ms).
+    sketch_ingest_ms: f64,
+    /// `exact_ingest_ms / sketch_ingest_ms` — gated ≥ 3.0 in CI. The
+    /// per-counter overestimation bound and suspect-superset property are
+    /// checked before any timing.
+    sketch_ingest_speedup: f64,
+    /// The sketch's enumerated worst-case overestimation bound (bytes)
+    /// on the streaming arm.
+    sketch_error_bound: u64,
     /// Logical cores available to the benching machine (schema 4). The
     /// shard-speedup CI gate scales its floor with this; the value itself
     /// is machine-dependent and excluded from snapshot comparisons.
@@ -565,17 +633,35 @@ fn bench_scale_arm(scale: Scale, shards: usize) -> Result<(u64, u64, u64, u64, f
     ))
 }
 
+/// What the synthetic 50k-source attribution workload measured: the
+/// schema-3 indexed-vs-scan arms plus the schema-7 streaming-ingest arms.
+struct AttributionArms {
+    sources: u64,
+    configs: u64,
+    indexed_ms: f64,
+    scan_ms: f64,
+    sketch_width: u64,
+    sketch_depth: u64,
+    sketch_flows: u64,
+    exact_ingest_ms: f64,
+    sketch_ingest_ms: f64,
+    sketch_error_bound: u64,
+}
+
 /// The schema-3 attribution workload: a 50k-source synthetic partition
 /// (deterministic LCG catchments, a few active attackers), timed through
 /// the indexed attribution plane and through the scan-based references it
 /// replaced. Both arms produce byte-identical suspect/estimate output —
-/// checked before timing — so the ratio is pure mechanism.
-fn bench_attribution_arms() -> Result<(u64, u64, f64, f64), String> {
+/// checked before timing — so the ratio is pure mechanism. The same
+/// partition then carries the schema-7 streaming arm: exact dense
+/// matrix construction vs count-min flow ingest.
+fn bench_attribution_arms() -> Result<AttributionArms, String> {
     use trackdown_core::localize::{
         estimate_cluster_volumes, estimate_cluster_volumes_rescan, link_volume_matrix,
-        rank_suspects, rank_suspects_rescan, AttributionIndex, CampaignStats,
+        rank_suspects, rank_suspects_acc, rank_suspects_rescan, AttributionIndex, CampaignStats,
     };
     use trackdown_topology::AsIndex;
+    use trackdown_traffic::{ingest_stream, SketchAccumulator, VolumeAccumulator as _};
 
     const SOURCES: usize = 50_000;
     const CONFIGS: usize = 24;
@@ -632,7 +718,7 @@ fn bench_attribution_arms() -> Result<(u64, u64, f64, f64), String> {
     ] {
         volume_per_as[i] = v;
     }
-    let vols = link_volume_matrix(&campaign, &volume_per_as, LINKS as usize);
+    let vols = link_volume_matrix(&campaign, &volume_per_as);
     // Per-source size lookups on a 1/8 sample: the full scan sweep is
     // ~5e9 operations and would dominate CI wall-clock for no signal.
     let sample: Vec<AsIndex> = campaign.tracked.iter().copied().step_by(8).collect();
@@ -669,7 +755,114 @@ fn bench_attribution_arms() -> Result<(u64, u64, f64, f64), String> {
     };
     let indexed_ms = time_ms(&|| run_indexed().2);
     let scan_ms = time_ms(&|| run_scan().2);
-    Ok((SOURCES as u64, CONFIGS as u64, indexed_ms, scan_ms))
+
+    // --- Schema-7 streaming arm -----------------------------------------
+    // The same partition, but the attack arrives as flows from a few
+    // hundred active sources (1-in-200 of the 50k — the few-source regime
+    // amplification attacks live in; AmpPot-style measurements put most
+    // reflection campaigns well under a thousand origins). The exact path
+    // must rescan every tracked source per configuration to build its
+    // dense rows; the count-min path only touches the flows it is fed.
+    const SKETCH_W: usize = 512;
+    const SKETCH_D: usize = 4;
+    let mut flow_volume = vec![0u64; SOURCES];
+    for v in flow_volume.iter_mut() {
+        let r = next();
+        if r % 200 == 0 {
+            *v = 64 * (1 + (r % 997) as u64);
+        }
+    }
+    let flows: Vec<trackdown_traffic::Flow> = flow_volume
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v > 0)
+        .map(|(i, &v)| trackdown_traffic::Flow {
+            src_as: AsIndex(i as u32),
+            claimed_ip: 0xCB00_7101,
+            dst_ip: 0xCB00_7201,
+            packets: v / 64,
+            bytes: v,
+            spoofed: true,
+        })
+        .collect();
+    let width = campaign.attribution.num_links();
+    let build_exact = || link_volume_matrix(&campaign, &flow_volume);
+    let build_sketch = || {
+        let mut acc = SketchAccumulator::new(CONFIGS, width, SKETCH_W, SKETCH_D, 7);
+        for (c, cat) in campaign.catchments.iter().enumerate() {
+            ingest_stream(
+                &mut acc,
+                c,
+                cat,
+                &flows,
+                trackdown_traffic::DEFAULT_FLOW_BATCH,
+            );
+        }
+        acc
+    };
+    // Correctness before timing claims: every sketch counter must sit in
+    // [exact, exact + bound], and the approximate suspect set must cover
+    // the exact one (overestimation never exonerates).
+    let exact_rows = build_exact();
+    let sketch = build_sketch();
+    let sketch_error_bound = sketch.error_bound();
+    for (c, row) in exact_rows.iter().enumerate() {
+        for (l, &e) in row.iter().enumerate() {
+            let s = sketch.volume(c, trackdown_bgp::LinkId(l as u8));
+            if s < e || s > e.saturating_add(sketch_error_bound) {
+                return Err(format!(
+                    "sketch counter ({c},{l}) = {s} outside [{e}, {e}+{sketch_error_bound}]; \
+                     bench snapshot aborted"
+                ));
+            }
+        }
+    }
+    let exact_suspects: BTreeSet<usize> = rank_suspects(&campaign, &exact_rows)
+        .iter()
+        .map(|s| s.cluster)
+        .collect();
+    let sketch_suspects: BTreeSet<usize> = rank_suspects_acc(&campaign, &sketch)
+        .suspects
+        .iter()
+        .map(|s| s.cluster)
+        .collect();
+    if !exact_suspects.is_subset(&sketch_suspects) {
+        return Err("sketch suspect set dropped an exact suspect; bench snapshot aborted".into());
+    }
+    let exact_ingest_ms = time_ms(&|| build_exact()[0][0] as usize);
+    // Steady state for the streaming arm: a line-rate box allocates the
+    // sketch once and recycles it between observation windows, so the
+    // timed work is clear + ingest, not allocation.
+    let reused = std::cell::RefCell::new(SketchAccumulator::new(
+        CONFIGS, width, SKETCH_W, SKETCH_D, 7,
+    ));
+    let sketch_ingest_ms = time_ms(&|| {
+        let mut acc = reused.borrow_mut();
+        acc.clear();
+        for (c, cat) in campaign.catchments.iter().enumerate() {
+            ingest_stream(
+                &mut *acc,
+                c,
+                cat,
+                &flows,
+                trackdown_traffic::DEFAULT_FLOW_BATCH,
+            );
+        }
+        acc.num_links()
+    });
+
+    Ok(AttributionArms {
+        sources: SOURCES as u64,
+        configs: CONFIGS as u64,
+        indexed_ms,
+        scan_ms,
+        sketch_width: SKETCH_W as u64,
+        sketch_depth: SKETCH_D as u64,
+        sketch_flows: flows.len() as u64,
+        exact_ingest_ms,
+        sketch_ingest_ms,
+        sketch_error_bound,
+    })
 }
 
 /// Run the full fixed benchmark workload and return the snapshot. The
@@ -772,8 +965,7 @@ fn bench_snapshot() -> Result<BenchSnapshot, String> {
         ));
     }
 
-    let (attribution_sources, attribution_configs, attribution_indexed_ms, attribution_scan_ms) =
-        bench_attribution_arms()?;
+    let arms = bench_attribution_arms()?;
 
     let (large_ases, large_tracked, large_configs, large_shards, large_1t_ms, large_8t_ms) =
         bench_scale_arm(Scale::Large, 8)?;
@@ -790,7 +982,7 @@ fn bench_snapshot() -> Result<BenchSnapshot, String> {
         .unwrap_or(1) as u64;
 
     let snap = BenchSnapshot {
-        schema: 6,
+        schema: 7,
         bench: "pipeline".into(),
         scale: "small".into(),
         seed: 7,
@@ -811,11 +1003,18 @@ fn bench_snapshot() -> Result<BenchSnapshot, String> {
         peak_arena_nodes: warm.stats.peak_arena_nodes as u64,
         allocs_per_epoch,
         memo_exercise_hits: memo_run.stats.memo_hits as u64,
-        attribution_sources,
-        attribution_configs,
-        attribution_indexed_ms: (attribution_indexed_ms * 1e3).round() / 1e3,
-        attribution_scan_ms: (attribution_scan_ms * 1e3).round() / 1e3,
-        attribution_speedup: ((attribution_scan_ms / attribution_indexed_ms) * 1e3).round() / 1e3,
+        attribution_sources: arms.sources,
+        attribution_configs: arms.configs,
+        attribution_indexed_ms: (arms.indexed_ms * 1e3).round() / 1e3,
+        attribution_scan_ms: (arms.scan_ms * 1e3).round() / 1e3,
+        attribution_speedup: ((arms.scan_ms / arms.indexed_ms) * 1e3).round() / 1e3,
+        sketch_width: arms.sketch_width,
+        sketch_depth: arms.sketch_depth,
+        sketch_flows: arms.sketch_flows,
+        exact_ingest_ms: (arms.exact_ingest_ms * 1e3).round() / 1e3,
+        sketch_ingest_ms: (arms.sketch_ingest_ms * 1e3).round() / 1e3,
+        sketch_ingest_speedup: ((arms.exact_ingest_ms / arms.sketch_ingest_ms) * 1e3).round() / 1e3,
+        sketch_error_bound: arms.sketch_error_bound,
         cores,
         large_ases,
         large_tracked,
@@ -844,6 +1043,7 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
         "wrote {out_path} (warm {:.1} ms, cold {:.1} ms, speedup {:.2}x; \
          delta {:.1} ms, {:.2}x fewer events than warm; \
          attribution indexed {:.1} ms vs scan {:.1} ms, {:.1}x; \
+         sketch ingest {:.2} ms vs exact {:.2} ms, {:.1}x on {} flows; \
          large {} ASes/{} tracked sharded 1t {:.0} ms vs 8t {:.0} ms, {:.2}x; \
          internet {} ASes/{} tracked sharded 1t {:.0} ms vs 8t {:.0} ms, {:.2}x \
          on {} cores)",
@@ -855,6 +1055,10 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
         snap.attribution_indexed_ms,
         snap.attribution_scan_ms,
         snap.attribution_speedup,
+        snap.sketch_ingest_ms,
+        snap.exact_ingest_ms,
+        snap.sketch_ingest_speedup,
+        snap.sketch_flows,
         snap.large_ases,
         snap.large_tracked,
         snap.large_1t_ms,

@@ -66,11 +66,12 @@ pub use config::{AnnouncementConfig, ConfigError, Phase};
 pub use dataset::Dataset;
 pub use generator::{full_schedule, GeneratorParams};
 pub use localize::{
-    estimate_cluster_volumes, estimate_cluster_volumes_rescan, rank_suspects, rank_suspects_rescan,
-    run_campaign, run_campaign_mode, run_campaign_parallel, run_campaign_parallel_mode,
-    run_campaign_sharded, run_campaign_sharded_mode, run_campaign_sharded_recorded,
-    AttributionIndex, Campaign, CampaignMode, CampaignStats, CatchmentSource, ShardPlan,
-    SuspectCluster, VolumeEstimate,
+    estimate_cluster_volumes, estimate_cluster_volumes_acc, estimate_cluster_volumes_rescan,
+    fit_link_volumes, rank_suspects, rank_suspects_acc, rank_suspects_rescan, run_campaign,
+    run_campaign_mode, run_campaign_parallel, run_campaign_parallel_mode, run_campaign_sharded,
+    run_campaign_sharded_mode, run_campaign_sharded_recorded, AttributionIndex, Campaign,
+    CampaignMode, CampaignStats, CatchmentSource, RankedSuspects, ShardPlan, SuspectCluster,
+    VolumeEstimate,
 };
 
 #[cfg(test)]

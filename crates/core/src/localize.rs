@@ -13,6 +13,7 @@ use trackdown_measure::{
 };
 use trackdown_obs::{CampaignRecorder, EpochMode, EpochRecord};
 use trackdown_topology::AsIndex;
+use trackdown_traffic::VolumeAccumulator;
 
 /// How catchments are obtained for each configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -1372,9 +1373,13 @@ pub struct SuspectCluster {
 }
 
 /// Check the volume matrix against the campaign's shape: one row per
-/// configuration, each row wide enough to cover every link a tracked
-/// cluster was routed to. Short rows would otherwise read as zero volume
-/// and silently *exonerate* clusters on missing data.
+/// configuration, each row *exactly* as wide as the attribution plane —
+/// every link a tracked cluster was routed to, and nothing more. Short
+/// rows would otherwise read as zero volume and silently *exonerate*
+/// clusters on missing data; over-wide rows carry entries no tracked
+/// cluster can ever be matched against, which almost always means the
+/// caller built the matrix against the wrong width (e.g. the origin's
+/// full link count) and the surplus volume would be silently dropped.
 fn validate_link_volumes(campaign: &Campaign, link_volumes: &[Vec<u64>]) {
     assert_eq!(
         link_volumes.len(),
@@ -1391,7 +1396,73 @@ fn validate_link_volumes(campaign: &Campaign, link_volumes: &[Vec<u64>]) {
             row.len(),
             need - 1
         );
+        assert!(
+            row.len() == need,
+            "link_volumes[{k}] covers {} links but the campaign's attribution \
+             plane spans exactly {need}; the extra entries belong to no tracked \
+             cluster and would be silently ignored — trim the rows with \
+             fit_link_volumes or build them with link_volume_matrix",
+            row.len()
+        );
     }
+}
+
+/// Check an accumulator's shape against the campaign: same contract as the
+/// dense-matrix validation — one configuration per campaign configuration
+/// and exactly the attribution plane's link width.
+fn validate_accumulator<A: VolumeAccumulator + ?Sized>(campaign: &Campaign, acc: &A) {
+    assert_eq!(
+        acc.num_configs(),
+        campaign.catchments.len(),
+        "one accumulator configuration per campaign configuration"
+    );
+    let need = campaign.attribution.num_links();
+    assert!(
+        acc.num_links() >= need,
+        "accumulator covers {} links but the campaign routed tracked clusters \
+         to links up to id {}; missing counters would read as zero volume and \
+         silently exonerate clusters",
+        acc.num_links(),
+        need - 1
+    );
+    assert!(
+        acc.num_links() == need,
+        "accumulator covers {} links but the campaign's attribution plane \
+         spans exactly {need}; the extra counters belong to no tracked cluster \
+         and would be silently ignored",
+        acc.num_links()
+    );
+}
+
+/// Adapt honeypot-shaped volume rows (width = the origin's full link
+/// count) to the attribution plane's exact width contract: rows are
+/// truncated to [`AttributionIndex::num_links`]. The dropped tail entries
+/// are links no tracked cluster was ever routed to, so they can never
+/// constrain (or exonerate) any cluster.
+///
+/// # Panics
+/// If a row is *narrower* than the attribution width (the silent-
+/// exoneration hazard — see [`rank_suspects`]), or the row count does not
+/// match the campaign's configuration count.
+pub fn fit_link_volumes(campaign: &Campaign, mut rows: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+    assert_eq!(
+        rows.len(),
+        campaign.catchments.len(),
+        "one volume vector per configuration"
+    );
+    let need = campaign.attribution.num_links();
+    for (k, row) in rows.iter_mut().enumerate() {
+        assert!(
+            row.len() >= need,
+            "link_volumes[{k}] covers {} links but the campaign routed tracked \
+             clusters to links up to id {}; missing entries would read as zero \
+             volume and silently exonerate clusters",
+            row.len(),
+            need - 1
+        );
+        row.truncate(need);
+    }
+    rows
 }
 
 /// Correlate per-configuration, per-link spoofed volumes (honeypot
@@ -1417,20 +1488,29 @@ fn validate_link_volumes(campaign: &Campaign, link_volumes: &[Vec<u64>]) {
 pub fn rank_suspects(campaign: &Campaign, link_volumes: &[Vec<u64>]) -> Vec<SuspectCluster> {
     let _span = trackdown_obs::span("attr.rank").attr("configs", link_volumes.len() as u64);
     validate_link_volumes(campaign, link_volumes);
+    rank_suspects_core(campaign, |k, l| link_volumes[k][l.us()])
+}
+
+/// The incremental min-bound pass shared by the dense and accumulator
+/// entry points: `vol(k, l)` reads the spoofed volume on link `l` during
+/// configuration `k` from whatever store the caller has.
+fn rank_suspects_core(
+    campaign: &Campaign,
+    vol: impl Fn(usize, LinkId) -> u64,
+) -> Vec<SuspectCluster> {
     let idx = &campaign.attribution;
     // Per-cluster state, re-keyed through every delta: the running
     // min-bound and whether any silent link has exonerated the lineage.
     let mut bound: Vec<u64> = vec![u64::MAX; idx.initial_clusters as usize];
     let mut alive: Vec<bool> = vec![true; idx.initial_clusters as usize];
     for (k, delta) in idx.deltas.iter().enumerate() {
-        let vols = &link_volumes[k];
         let mut next_bound = Vec::with_capacity(delta.num_clusters());
         let mut next_alive = Vec::with_capacity(delta.num_clusters());
         for (c, &parent) in delta.parent_of.iter().enumerate() {
             let mut b = bound[parent as usize];
             let mut a = alive[parent as usize];
             if let Some(link) = delta.link_of[c] {
-                let v = vols[link.us()];
+                let v = vol(k, link);
                 if v == 0 {
                     a = false; // a silent link exonerates the lineage
                 } else {
@@ -1507,6 +1587,60 @@ pub fn rank_suspects_rescan(campaign: &Campaign, link_volumes: &[Vec<u64>]) -> V
     out
 }
 
+/// Suspect ranking produced from a (possibly approximate) streaming
+/// accumulator by [`rank_suspects_acc`], annotated with the accumulator's
+/// error bound and whether the ordering is provably stable under it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankedSuspects {
+    /// Ranked suspects, exactly as [`rank_suspects`] would order them on
+    /// the accumulator's volumes.
+    pub suspects: Vec<SuspectCluster>,
+    /// The accumulator's deterministic one-sided overestimate bound `B`:
+    /// every reported volume is within `[true, true + B]`.
+    pub error_bound: u64,
+    /// Whether the ranking could *not* flip within the error bound: true
+    /// iff every adjacent pair of suspects is separated by at least
+    /// `error_bound`. With one-sided error, two suspects whose reported
+    /// bounds differ by `g >= B` cannot swap under any true volumes
+    /// consistent with the sketch; a smaller gap might.
+    pub stable: bool,
+}
+
+/// [`rank_suspects`] over a streaming [`VolumeAccumulator`] instead of
+/// exact dense rows — the line-rate entry point.
+///
+/// Because approximate accumulators are one-sided (never *under* the true
+/// volume), the zero-volume exoneration rule stays sound: a sketch can
+/// never report zero for a link that actually carried spoofed bytes, so
+/// the returned suspect set is always a superset of the exact one, and the
+/// extra suspects' bounds are within [`RankedSuspects::error_bound`] of
+/// zero-evidence. [`RankedSuspects::stable`] reports whether the ordering
+/// itself is trustworthy at the current sketch resolution.
+///
+/// # Panics
+/// If the accumulator's shape does not match the campaign: one
+/// configuration per campaign configuration, and exactly
+/// [`AttributionIndex::num_links`] link counters (same width contract as
+/// [`rank_suspects`]).
+pub fn rank_suspects_acc<A: VolumeAccumulator + ?Sized>(
+    campaign: &Campaign,
+    acc: &A,
+) -> RankedSuspects {
+    let _span =
+        trackdown_obs::span("attr.rank_acc").attr("configs", campaign.catchments.len() as u64);
+    validate_accumulator(campaign, acc);
+    let suspects = rank_suspects_core(campaign, |k, l| acc.volume(k, l));
+    let error_bound = acc.error_bound();
+    let stable = suspects
+        .windows(2)
+        .all(|w| w[0].volume_upper_bound - w[1].volume_upper_bound >= error_bound);
+    RankedSuspects {
+        suspects,
+        error_bound,
+        stable,
+    }
+}
+
 /// Volume bounds for one cluster produced by
 /// [`estimate_cluster_volumes`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -1556,7 +1690,50 @@ pub fn estimate_cluster_volumes(
     // reconstructed from the refinement deltas.
     let links = campaign.attribution.final_links();
     let vol = |c: usize, l: LinkId| -> u64 { link_volumes[c][l.us()] };
-    estimate_from_links(campaign, link_volumes, max_rounds, num_links, &links, vol)
+    estimate_from_links(
+        campaign,
+        link_volumes.len(),
+        max_rounds,
+        num_links,
+        &links,
+        vol,
+        0,
+    )
+}
+
+/// [`estimate_cluster_volumes`] over a streaming [`VolumeAccumulator`].
+///
+/// One-sided overestimates need one adaptation to stay *sound* (never
+/// excluding the true volume from a cluster's interval): lower-bound
+/// updates are relaxed by the accumulator's error bound. Conservation on
+/// link `l` says `v_k >= V_true − Σ_{j≠k} upper_j`, but the accumulator
+/// only knows `V' ∈ [V_true, V_true + B]` — so the proven floor becomes
+/// `(V' − B) − Σ upper_j`. Upper bounds need no slack: `V' >= V_true`
+/// already makes them conservative. Consequently every interval this
+/// returns *contains* the interval the exact pipeline would prove, and a
+/// cluster with true volume > 0 is never exonerated.
+///
+/// # Panics
+/// Same shape contract as [`rank_suspects_acc`].
+pub fn estimate_cluster_volumes_acc<A: VolumeAccumulator + ?Sized>(
+    campaign: &Campaign,
+    acc: &A,
+    max_rounds: usize,
+) -> Vec<VolumeEstimate> {
+    let _span =
+        trackdown_obs::span("attr.estimate_acc").attr("configs", campaign.catchments.len() as u64);
+    validate_accumulator(campaign, acc);
+    let num_links = campaign.attribution.num_links();
+    let links = campaign.attribution.final_links();
+    estimate_from_links(
+        campaign,
+        campaign.catchments.len(),
+        max_rounds,
+        num_links,
+        &links,
+        |c, l| acc.volume(c, l),
+        acc.error_bound(),
+    )
 }
 
 /// The pre-index implementation of [`estimate_cluster_volumes`]:
@@ -1583,18 +1760,30 @@ pub fn estimate_cluster_volumes_rescan(
         })
         .collect();
     let vol = |c: usize, l: LinkId| -> u64 { link_volumes[c].get(l.us()).copied().unwrap_or(0) };
-    estimate_from_links(campaign, link_volumes, max_rounds, num_links, &links, vol)
+    estimate_from_links(
+        campaign,
+        link_volumes.len(),
+        max_rounds,
+        num_links,
+        &links,
+        vol,
+        0,
+    )
 }
 
-/// Interval constraint propagation shared by the indexed and rescan
-/// estimators: everything after the per-cluster link matrix is obtained.
+/// Interval constraint propagation shared by the indexed, rescan, and
+/// accumulator estimators: everything after the per-cluster link matrix is
+/// obtained. `slack` is the volume store's one-sided overestimate bound
+/// (0 for exact stores); lower-bound updates subtract it so a possibly
+/// inflated link reading never proves a floor the true volumes could not.
 fn estimate_from_links(
     campaign: &Campaign,
-    link_volumes: &[Vec<u64>],
+    num_configs: usize,
     max_rounds: usize,
     num_links: usize,
     links: &[Vec<Option<LinkId>>],
     vol: impl Fn(usize, LinkId) -> u64,
+    slack: u64,
 ) -> Vec<VolumeEstimate> {
     // Initial bounds.
     let mut upper: Vec<u64> = links
@@ -1611,7 +1800,7 @@ fn estimate_from_links(
     let mut lower = vec![0u64; links.len()];
     for _ in 0..max_rounds {
         let mut changed = false;
-        for c in 0..link_volumes.len() {
+        for c in 0..num_configs {
             // Per-link sums of current bounds over clusters on that link.
             let mut sum_upper = vec![0u128; num_links];
             let mut sum_lower = vec![0u128; num_links];
@@ -1627,9 +1816,11 @@ fn estimate_from_links(
                 // Lower: what the others cannot explain.
                 // `saturating_sub`: bounds updated earlier in this pass
                 // leave the per-link sums slightly stale; saturation keeps
-                // the estimates conservative (sound) either way.
+                // the estimates conservative (sound) either way. `slack`
+                // discounts a possibly overestimated link reading before
+                // it can prove anything.
                 let others_upper = sum_upper[l.us()].saturating_sub(upper[k] as u128);
-                let new_lower = v.saturating_sub(others_upper) as u64;
+                let new_lower = v.saturating_sub(slack as u128).saturating_sub(others_upper) as u64;
                 if new_lower > lower[k] {
                     lower[k] = new_lower;
                     changed = true;
@@ -1784,15 +1975,31 @@ pub fn suspect_ases(suspects: &[SuspectCluster], coverage: f64) -> Vec<AsIndex> 
 /// Compute per-configuration per-link volumes for a set of per-AS volumes
 /// under the campaign's catchments — the honeypot-report matrix an origin
 /// would have recorded if those sources had been active throughout.
-pub fn link_volume_matrix(
-    campaign: &Campaign,
-    volume_per_as: &[u64],
-    num_links: usize,
-) -> Vec<Vec<u64>> {
+///
+/// Rows come out exactly [`AttributionIndex::num_links`] wide, satisfying
+/// the attribution plane's width contract by construction. Volume from
+/// ASes routed to links beyond that width is dropped: no tracked cluster
+/// ever landed there, so those bytes can neither constrain nor exonerate
+/// any cluster.
+pub fn link_volume_matrix(campaign: &Campaign, volume_per_as: &[u64]) -> Vec<Vec<u64>> {
+    let width = campaign.attribution.num_links();
     campaign
         .catchments
         .iter()
-        .map(|cat| trackdown_traffic::volume_per_link(cat, volume_per_as, num_links))
+        .map(|cat| {
+            let mut out = vec![0u64; width];
+            for (i, &v) in volume_per_as.iter().enumerate() {
+                if v == 0 || i >= cat.len() {
+                    continue;
+                }
+                if let Some(link) = cat.get(AsIndex(i as u32)) {
+                    if link.us() < width {
+                        out[link.us()] += v;
+                    }
+                }
+            }
+            out
+        })
         .collect()
 }
 
@@ -1885,7 +2092,7 @@ mod tests {
         let attacker = campaign.tracked[campaign.tracked.len() / 2];
         let mut volume = vec![0u64; g.topology.num_ases()];
         volume[attacker.us()] = 1_000_000;
-        let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+        let vols = link_volume_matrix(&campaign, &volume);
         let suspects = rank_suspects(&campaign, &vols);
         assert!(!suspects.is_empty());
         // The attacker's cluster must rank first.
@@ -1925,7 +2132,7 @@ mod tests {
         let mut volume = vec![0u64; g.topology.num_ases()];
         volume[a.us()] = 500_000;
         volume[b.us()] = 400_000;
-        let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+        let vols = link_volume_matrix(&campaign, &volume);
         let suspects = rank_suspects(&campaign, &vols);
         let named = suspect_ases(&suspects, 1.0);
         assert!(named.contains(&a), "source a missed");
@@ -1962,7 +2169,7 @@ mod tests {
         for (i, s) in sources.iter().enumerate() {
             volume[s.us()] = 100_000 * (i as u64 + 1);
         }
-        let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+        let vols = link_volume_matrix(&campaign, &volume);
 
         let simple = rank_suspects(&campaign, &vols);
         let refined = estimate_cluster_volumes(&campaign, &vols, 10);
@@ -2008,7 +2215,7 @@ mod tests {
         let attacker = campaign.tracked[campaign.tracked.len() / 2];
         let mut volume = vec![0u64; g.topology.num_ases()];
         volume[attacker.us()] = 777_000;
-        let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+        let vols = link_volume_matrix(&campaign, &volume);
         let refined = estimate_cluster_volumes(&campaign, &vols, 10);
         // Exactly one cluster survives, with exact bounds.
         assert_eq!(refined.len(), 1);
@@ -2171,7 +2378,7 @@ mod tests {
         let attacker = campaign.tracked[campaign.tracked.len() / 3];
         let mut volume = vec![0u64; g.topology.num_ases()];
         volume[attacker.us()] = 1_000;
-        let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+        let vols = link_volume_matrix(&campaign, &volume);
         let scores = match_fraction_scores(&campaign, &vols);
         // The attacker's cluster scores a perfect 1.0 and ranks first.
         assert!((scores[0].2 - 1.0).abs() < 1e-12);
@@ -2241,7 +2448,7 @@ mod tests {
         for (i, s) in campaign.tracked.iter().step_by(7).enumerate() {
             volume[s.us()] = 10_000 * (i as u64 + 1);
         }
-        let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+        let vols = link_volume_matrix(&campaign, &volume);
         assert_eq!(
             rank_suspects(&campaign, &vols),
             rank_suspects_rescan(&campaign, &vols)
@@ -2321,13 +2528,80 @@ mod tests {
             None,
             200,
         );
-        let mut vols = link_volume_matrix(
-            &campaign,
-            &vec![1u64; g.topology.num_ases()],
-            origin.num_links(),
-        );
+        let mut vols = link_volume_matrix(&campaign, &vec![1u64; g.topology.num_ases()]);
         vols[0].truncate(campaign.attribution.num_links().saturating_sub(1));
         let _ = rank_suspects(&campaign, &vols);
+    }
+
+    /// An over-wide volume row is equally a caller bug: the extra entries
+    /// can never be matched against any tracked cluster, so accepting them
+    /// would silently drop whatever volume the caller put there.
+    #[test]
+    #[should_panic(expected = "silently ignored")]
+    fn wide_volume_rows_rejected() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 1,
+                max_poison_configs: Some(4),
+            },
+        );
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        let mut vols = link_volume_matrix(&campaign, &vec![1u64; g.topology.num_ases()]);
+        vols[0].push(77); // one entry past the attribution width
+        let _ = estimate_cluster_volumes(&campaign, &vols, 10);
+    }
+
+    /// `fit_link_volumes` adapts honeypot-shaped rows (the origin's full
+    /// link count) to the exact width contract without changing any
+    /// volume a tracked cluster can see.
+    #[test]
+    fn fit_link_volumes_trims_to_the_attribution_width() {
+        let (g, origin, cfg) = setup();
+        let engine = BgpEngine::new(&g.topology, &cfg);
+        let schedule = full_schedule(
+            &g.topology,
+            &origin,
+            &GeneratorParams {
+                max_removals: 1,
+                max_poison_configs: Some(4),
+            },
+        );
+        let campaign = run_campaign(
+            &engine,
+            &origin,
+            &schedule,
+            CatchmentSource::ControlPlane,
+            None,
+            200,
+        );
+        let volume = vec![3u64; g.topology.num_ases()];
+        let exact = link_volume_matrix(&campaign, &volume);
+        // Honeypot-shaped rows: origin width, possibly wider than the
+        // attribution plane.
+        let wide: Vec<Vec<u64>> = campaign
+            .catchments
+            .iter()
+            .map(|cat| trackdown_traffic::volume_per_link(cat, &volume, origin.num_links()))
+            .collect();
+        let fitted = fit_link_volumes(&campaign, wide);
+        assert_eq!(
+            rank_suspects(&campaign, &fitted),
+            rank_suspects(&campaign, &exact)
+        );
+        for row in &fitted {
+            assert_eq!(row.len(), campaign.attribution.num_links());
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use trackdown_bgp::{BgpEngine, Catchments, EngineConfig, PolicyConfig};
 use trackdown_core::localize::{
-    match_fraction_scores, rank_suspects, run_campaign, CatchmentSource,
+    fit_link_volumes, match_fraction_scores, rank_suspects, run_campaign, CatchmentSource,
 };
 use trackdown_experiments::{report_stats, Options, Scenario};
 
@@ -70,12 +70,17 @@ fn main() {
             let attacker = campaign.tracked[(t * 17 + 3) % campaign.tracked.len()];
             let mut volume = vec![0u64; scenario.gen.topology.num_ases()];
             volume[attacker.us()] = 1_000_000;
-            let vols: Vec<Vec<u64>> = actual
-                .iter()
-                .map(|c| {
-                    trackdown_traffic::volume_per_link(c, &volume, scenario.origin.num_links())
-                })
-                .collect();
+            // Honeypot-shaped rows (origin width) trimmed to the
+            // attribution plane's exact width contract.
+            let vols: Vec<Vec<u64>> = fit_link_volumes(
+                &campaign,
+                actual
+                    .iter()
+                    .map(|c| {
+                        trackdown_traffic::volume_per_link(c, &volume, scenario.origin.num_links())
+                    })
+                    .collect(),
+            );
             let suspects = rank_suspects(&campaign, &vols);
             if suspects.iter().any(|s| s.members.contains(&attacker)) {
                 strict += 1;

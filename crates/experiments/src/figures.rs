@@ -685,7 +685,7 @@ pub fn defense_sweep(
             // degradation, not traffic randomness.
             let n = scenario.gen.topology.num_ases();
             let volume: Vec<u64> = (0..n as u64).map(|i| 1 + i % 7).collect();
-            let vols = link_volume_matrix(&campaign, &volume, scenario.origin.num_links());
+            let vols = link_volume_matrix(&campaign, &volume);
             let suspects = rank_suspects(&campaign, &vols);
             let sizes = campaign.clustering.sizes();
             out.push(DefensePoint {

@@ -43,6 +43,7 @@ use trackdown_topology::cone::ConeInfo;
 use trackdown_topology::gen::{generate, GeneratedTopology, TopologyConfig};
 
 pub mod figures;
+pub mod scenarios;
 
 /// Experiment scale: trades fidelity for runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +134,10 @@ pub struct Options {
     /// <name>=<fraction>[:<bias>]`, repeatable). Empty reproduces the
     /// extension-free engine bit-for-bit.
     pub defenses: Vec<ExtensionDeployment>,
+    /// Streaming-sketch geometry (`--sketch WIDTHxDEPTH`): attribute
+    /// volumes through a count-min sketch of this shape instead of exact
+    /// dense counters. `None` keeps the exact path.
+    pub sketch: Option<(usize, usize)>,
 }
 
 impl Default for Options {
@@ -148,8 +153,18 @@ impl Default for Options {
             metrics_out: None,
             metrics_deterministic: false,
             defenses: Vec::new(),
+            sketch: None,
         }
     }
+}
+
+/// Parse one `--sketch` operand: `WIDTHxDEPTH` (e.g. `64x4`), both
+/// positive.
+pub fn parse_sketch(s: &str) -> Option<(usize, usize)> {
+    let (w, d) = s.split_once('x')?;
+    let width: usize = w.parse().ok().filter(|&v| v >= 1)?;
+    let depth: usize = d.parse().ok().filter(|&v| v >= 1)?;
+    Some((width, depth))
 }
 
 /// Parse one `--defense` operand: `<name>=<fraction>[:<bias>]` with
@@ -186,8 +201,10 @@ impl Options {
     }
 
     /// [`Options::from_args`], skipping any flag named in `ignore` —
-    /// binaries with extra boolean flags (e.g. `defense --check`) parse
-    /// those themselves and pass the rest through here.
+    /// binaries with extra flags (e.g. `defense --check`) parse those
+    /// themselves and pass the rest through here. A plain entry skips one
+    /// boolean flag; an entry ending in `=` (e.g. `"--fraction="`) skips
+    /// the flag *and* its value token.
     pub fn from_args_filtered(ignore: &[&str]) -> Options {
         let mut opts = Options::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -195,6 +212,13 @@ impl Options {
         while i < args.len() {
             if ignore.contains(&args[i].as_str()) {
                 i += 1;
+                continue;
+            }
+            if ignore
+                .iter()
+                .any(|ig| ig.strip_suffix('=') == Some(args[i].as_str()))
+            {
+                i += 2; // value flag: skip the flag and its operand
                 continue;
             }
             match args[i].as_str() {
@@ -237,6 +261,14 @@ impl Options {
                     opts.metrics_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
                 }
                 "--metrics-deterministic" => opts.metrics_deterministic = true,
+                "--sketch" => {
+                    i += 1;
+                    opts.sketch = Some(
+                        args.get(i)
+                            .and_then(|v| parse_sketch(v))
+                            .unwrap_or_else(|| usage()),
+                    );
+                }
                 "--defense" => {
                     i += 1;
                     let d = args
@@ -263,7 +295,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: <experiment> [--scale small|medium|full|large|internet] [--seed <u64>] \
          [--measured] [--cold] [--delta] [--shards <n|auto>] [--threads <n>] \
-         [--metrics-out FILE] [--metrics-deterministic] \
+         [--metrics-out FILE] [--metrics-deterministic] [--sketch WIDTHxDEPTH] \
          [--defense <name>=<fraction>[:<bias>]]...\n\
          defenses: rov, peer-rov, aspa, peerlock-lite, only-to-customers, \
          enforce-first-as, edge-filter; bias: uniform|core|stub (default core)"

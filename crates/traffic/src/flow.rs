@@ -111,6 +111,17 @@ pub fn spoofed_flows(
         .collect()
 }
 
+/// Iterate over a flow list in fixed-size batches — the unit the
+/// streaming accumulators in [`crate::sketch`] ingest (the last batch may
+/// be shorter).
+///
+/// # Panics
+/// Panics if `batch` is zero.
+pub fn flow_batches(flows: &[Flow], batch: usize) -> impl Iterator<Item = &[Flow]> {
+    assert!(batch > 0, "flow batch size must be positive");
+    flows.chunks(batch)
+}
+
 /// Generate honest background flows from a set of ASes (source addresses
 /// inside each AS's own block). Used by the classifier evaluation; an
 /// amplification honeypot proper receives no such traffic.

@@ -85,6 +85,9 @@ fn main() {
         let report = honeypot.observe(cat, origin.num_links(), &flows);
         link_volumes.push(report.per_link_bytes.clone());
     }
+    // Honeypot rows are origin-width; trim to the attribution plane's
+    // exact width contract.
+    let link_volumes = fit_link_volumes(&campaign, link_volumes);
     // Narrate the first three configurations like Figure 1.
     for (k, vols) in link_volumes.iter().take(3).enumerate() {
         let hottest = vols

@@ -86,15 +86,18 @@ fn main() {
         honeypot.config().prefix,
         &FlowConfig::default(),
     );
-    let link_volumes: Vec<Vec<u64>> = campaign
-        .catchments
-        .iter()
-        .map(|cat| {
-            honeypot
-                .observe(cat, origin.num_links(), &flows)
-                .per_link_bytes
-        })
-        .collect();
+    let link_volumes: Vec<Vec<u64>> = fit_link_volumes(
+        &campaign,
+        campaign
+            .catchments
+            .iter()
+            .map(|cat| {
+                honeypot
+                    .observe(cat, origin.num_links(), &flows)
+                    .per_link_bytes
+            })
+            .collect(),
+    );
     let estimates = estimate_cluster_volumes(&campaign, &link_volumes, 10);
     println!(
         "{} configurations deployed; suspect clusters: {}",

@@ -60,7 +60,7 @@ fn main() {
     let attacker = campaign.tracked[campaign.tracked.len() / 3];
     let mut volume = vec![0u64; world.topology.num_ases()];
     volume[attacker.us()] = 5_000_000;
-    let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+    let vols = link_volume_matrix(&campaign, &volume);
     let suspects = rank_suspects(&campaign, &vols);
     let top = &suspects[0];
     println!(

@@ -57,10 +57,11 @@ pub mod prelude {
     };
     pub use trackdown_core::generator::{full_schedule, GeneratorParams};
     pub use trackdown_core::localize::{
-        estimate_cluster_volumes, estimate_cluster_volumes_rescan, link_volume_matrix,
-        rank_suspects, rank_suspects_rescan, run_campaign, run_campaign_mode,
-        run_campaign_parallel, run_campaign_sharded, suspect_ases, AttributionIndex, Campaign,
-        CampaignMode, CampaignStats, CatchmentSource, ShardPlan,
+        estimate_cluster_volumes, estimate_cluster_volumes_acc, estimate_cluster_volumes_rescan,
+        fit_link_volumes, link_volume_matrix, rank_suspects, rank_suspects_acc,
+        rank_suspects_rescan, run_campaign, run_campaign_mode, run_campaign_parallel,
+        run_campaign_sharded, suspect_ases, AttributionIndex, Campaign, CampaignMode,
+        CampaignStats, CatchmentSource, RankedSuspects, ShardPlan,
     };
     pub use trackdown_core::{AnnouncementConfig, Clustering, Dataset, Phase};
     pub use trackdown_measure::{MeasurementConfig, MeasurementPlane};
@@ -68,7 +69,8 @@ pub mod prelude {
     pub use trackdown_topology::gen::{generate, GeneratedTopology, TopologyConfig};
     pub use trackdown_topology::{AsIndex, AsPath, Asn, Topology};
     pub use trackdown_traffic::{
-        place_sources, spoofed_flows, FlowConfig, Honeypot, HoneypotConfig, PlacedSources,
-        SourcePlacement,
+        ingest_stream, place_sources, spoofed_flows, BatchedDenseAccumulator, CountMinSketch,
+        FlowConfig, Honeypot, HoneypotConfig, PlacedSources, SketchAccumulator, SourcePlacement,
+        VolumeAccumulator,
     };
 }

@@ -126,7 +126,7 @@ proptest! {
                 &engine, &origin, &schedule, CatchmentSource::ControlPlane,
                 None, 200, mode);
             let volume = plant_attackers(&world, &campaign, attackers, seed);
-            let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+            let vols = link_volume_matrix(&campaign, &volume);
             prop_assert_eq!(vols.len(), campaign.attribution.num_configs());
             assert_attribution_matches_rescan!(campaign, vols);
         }
@@ -151,7 +151,7 @@ proptest! {
                 &engine, &origin, &schedule, CatchmentSource::ControlPlane,
                 200, threads, CampaignMode::Warm);
             let volume = plant_attackers(&world, &campaign, attackers, seed);
-            let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+            let vols = link_volume_matrix(&campaign, &volume);
             assert_attribution_matches_rescan!(campaign, vols);
             let suspects = rank_suspects(&campaign, &vols);
             match &suspect_golden {
@@ -178,7 +178,7 @@ proptest! {
             &engine, &origin, &schedule, CatchmentSource::Measured,
             Some(&plane), 200, CampaignMode::Warm);
         let volume = plant_attackers(&world, &campaign, attackers, seed);
-        let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+        let vols = link_volume_matrix(&campaign, &volume);
         assert_attribution_matches_rescan!(campaign, vols);
     }
 }

@@ -99,7 +99,10 @@ fn zero_tracked_sources_flow_through() {
     assert_eq!(campaign.attribution.final_num_clusters(), 0);
     assert_eq!(campaign.attribution.total_splits(), 0);
     assert!(campaign.attribution.final_links().is_empty());
-    let vols = vec![vec![7u64, 7, 7]; 4];
+    // No tracked clusters means an attribution width of zero, and the
+    // exact width contract demands empty rows to match.
+    assert_eq!(campaign.attribution.num_links(), 0);
+    let vols = vec![Vec::new(); 4];
     let named = exercise_attribution(&campaign, &vols);
     assert!(named.is_empty());
     assert_eq!(campaign.clustering.cluster_of(AsIndex(3)), None);
@@ -120,7 +123,7 @@ fn all_unobserved_catchments_flow_through() {
     assert!(campaign.attribution.final_links()[0]
         .iter()
         .all(|l| l.is_none()));
-    // Volume rows may be any width ≥ num_links() = 0, including empty.
+    // num_links() = 0, so the exact width contract wants empty rows.
     let vols = vec![Vec::new(); 5];
     let named = exercise_attribution(&campaign, &vols);
     assert!(named.is_empty(), "unobserved clusters are never suspects");
@@ -143,6 +146,25 @@ fn short_volume_rows_are_rejected_not_zeroed() {
     assert_eq!(campaign.attribution.num_links(), 4);
     // Row of width 2 where links 0..4 were routed: short.
     let _ = rank_suspects(&campaign, &[vec![5, 5]]);
+}
+
+/// The over-wide side of the width contract: a row wider than the
+/// attribution plane carries entries no tracked cluster can be matched
+/// against — almost always a matrix built for the wrong link count — and
+/// must be rejected, not silently truncated (`fit_link_volumes` is the
+/// explicit opt-in for honeypot-shaped rows).
+#[test]
+#[should_panic(expected = "silently ignored")]
+fn wide_volume_rows_are_rejected_not_ignored() {
+    let tracked: Vec<AsIndex> = (0..6).map(AsIndex).collect();
+    let mut cat = Catchments::unassigned(6);
+    for i in 0..6u32 {
+        cat.set(AsIndex(i), Some(LinkId((i % 4) as u8)));
+    }
+    let campaign = synthetic_campaign(tracked, vec![cat]);
+    assert_eq!(campaign.attribution.num_links(), 4);
+    // Row of width 6 where the attribution plane spans exactly 4: wide.
+    let _ = rank_suspects(&campaign, &[vec![5, 5, 5, 5, 9, 9]]);
 }
 
 /// A recorded campaign at the smallest end of the schedule space (the
@@ -182,7 +204,7 @@ fn single_config_recorded_campaign_manifest_validates() {
     // One configuration cannot split the initial cluster set apart from
     // partitioning it by the baseline catchment; still a valid campaign.
     let volume = vec![1u64; world.topology.num_ases()];
-    let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+    let vols = link_volume_matrix(&campaign, &volume);
     let _ = exercise_attribution(&campaign, &vols);
 
     let records = recorder.take_records();

@@ -127,8 +127,8 @@ proptest! {
         let volume: Vec<u64> = (0..world.topology.num_ases() as u64)
             .map(|i| 1 + i % 5)
             .collect();
-        let dv = link_volume_matrix(&delta, &volume, origin.num_links());
-        let cv = link_volume_matrix(&cold, &volume, origin.num_links());
+        let dv = link_volume_matrix(&delta, &volume);
+        let cv = link_volume_matrix(&cold, &volume);
         prop_assert_eq!(rank_suspects(&delta, &dv), rank_suspects(&cold, &cv));
         prop_assert_eq!(delta.stats.mode, CampaignMode::Delta);
         prop_assert_eq!(
@@ -159,13 +159,13 @@ proptest! {
             .collect();
         let cold = run_campaign_mode(
             &engine, &origin, &schedule, source, None, 200, CampaignMode::Cold);
-        let cold_vols = link_volume_matrix(&cold, &volume, origin.num_links());
+        let cold_vols = link_volume_matrix(&cold, &volume);
         let cold_rank = rank_suspects(&cold, &cold_vols);
         for threads in [1usize, 2, 8] {
             let par = run_campaign_parallel_mode(
                 &engine, &origin, &schedule, source, 200, threads, CampaignMode::Delta);
             assert_campaigns_identical!(par, cold);
-            let vols = link_volume_matrix(&par, &volume, origin.num_links());
+            let vols = link_volume_matrix(&par, &volume);
             prop_assert_eq!(rank_suspects(&par, &vols), cold_rank.clone());
             let sharded = run_campaign_sharded_mode(
                 &engine, &origin, &schedule, source, 200, threads, 4, CampaignMode::Delta);
@@ -309,7 +309,7 @@ fn extensions_on_delta_equals_warm_equals_cold_across_threads() {
             200,
             CampaignMode::Cold,
         );
-        let cold_vols = link_volume_matrix(&cold, &volume, origin.num_links());
+        let cold_vols = link_volume_matrix(&cold, &volume);
         let cold_rank = rank_suspects(&cold, &cold_vols);
         let warm = run_campaign_mode(
             &engine,
@@ -339,7 +339,7 @@ fn extensions_on_delta_equals_warm_equals_cold_across_threads() {
             assert_eq!(&delta.tracked, &cold.tracked);
             assert_eq!(delta.clustering.clusters(), cold.clustering.clusters());
             assert_eq!(&delta.records, &cold.records);
-            let vols = link_volume_matrix(&delta, &volume, origin.num_links());
+            let vols = link_volume_matrix(&delta, &volume);
             assert_eq!(
                 rank_suspects(&delta, &vols),
                 cold_rank,

@@ -66,6 +66,9 @@ fn full_pipeline_with_measured_catchments_localizes_a_source() {
         let report = honeypot.observe(&truth, origin.num_links(), &flows);
         link_volumes.push(report.per_link_bytes);
     }
+    // Honeypot rows are origin-width; the attribution plane wants its
+    // exact width.
+    let link_volumes = fit_link_volumes(&campaign, link_volumes);
     let suspects = rank_suspects(&campaign, &link_volumes);
     // Even with measurement noise, the attacker must be named.
     let named = suspect_ases(&suspects, 1.0);

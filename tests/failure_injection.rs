@@ -136,7 +136,7 @@ fn violator_heavy_worlds_still_converge_and_localize() {
     let attacker = campaign.tracked[7 % campaign.tracked.len()];
     let mut volume = vec![0u64; world.topology.num_ases()];
     volume[attacker.us()] = 1;
-    let vols = link_volume_matrix(&campaign, &volume, origin.num_links());
+    let vols = link_volume_matrix(&campaign, &volume);
     let suspects = rank_suspects(&campaign, &vols);
     assert!(suspects.iter().any(|s| s.members.contains(&attacker)));
 }

@@ -174,7 +174,7 @@ proptest! {
         for mode in [CampaignMode::Warm, CampaignMode::Delta, CampaignMode::Cold] {
             let oracle = run_campaign_mode(
                 &engine, &origin, &schedule, source, None, 200, mode);
-            let oracle_vols = link_volume_matrix(&oracle, &volume, origin.num_links());
+            let oracle_vols = link_volume_matrix(&oracle, &volume);
             let oracle_rank = rank_suspects(&oracle, &oracle_vols);
             for shards in [1usize, 2, 8] {
                 let sharded = run_campaign_sharded_mode(
@@ -190,7 +190,7 @@ proptest! {
                     prop_assert_eq!(&dense, &o.dense());
                     prop_assert_eq!(&Catchments::from_dense(&dense), c);
                 }
-                let vols = link_volume_matrix(&sharded, &volume, origin.num_links());
+                let vols = link_volume_matrix(&sharded, &volume);
                 prop_assert_eq!(rank_suspects(&sharded, &vols), oracle_rank.clone());
                 prop_assert_eq!(
                     sharded.stats.shards,
@@ -254,8 +254,8 @@ fn extensions_on_warm_equals_cold() {
             assert_eq!(&warm.tracked, &cold.tracked);
             assert_eq!(warm.clustering.clusters(), cold.clustering.clusters());
             assert_eq!(&warm.records, &cold.records);
-            let wv = link_volume_matrix(&warm, &volume, origin.num_links());
-            let cv = link_volume_matrix(&cold, &volume, origin.num_links());
+            let wv = link_volume_matrix(&warm, &volume);
+            let cv = link_volume_matrix(&cold, &volume);
             assert_eq!(
                 rank_suspects(&warm, &wv),
                 rank_suspects(&cold, &cv),
